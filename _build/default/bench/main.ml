@@ -1,0 +1,244 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (printed to stdout) and then times the machinery behind each of them with
+   Bechamel. Run with `dune exec bench/main.exe`. *)
+
+open Bechamel
+open Conman
+
+(* --- reproduction of the paper's tables and figures -------------------------- *)
+
+let reproductions () =
+  let ppf = Fmt.stdout in
+  Report.table3 ppf ();
+  let v = Scenarios.build_vpn () in
+  Report.table4 ppf v;
+  Report.fig5 ppf v;
+  Report.fig2 ppf v;
+  let _ = Report.paths9 ppf v in
+  Report.fig6 ppf v;
+  Report.fig3 ppf ();
+  Report.fig7 ppf ();
+  Report.fig8 ppf ();
+  Report.fig9 ppf ();
+  Report.table5 ppf ();
+  Report.table6 ppf ();
+  Report.security ppf ();
+  Report.ablations ppf ();
+  Fmt.pf ppf "@."
+
+(* --- micro-benchmarks ---------------------------------------------------------- *)
+
+(* Each table/figure of the paper gets a benchmark of the machinery that
+   regenerates it; a few substrate benchmarks cover the data plane the
+   evaluation rests on. *)
+
+let bench_table3 =
+  Test.make ~name:"table3: GRE abstraction encode"
+    (Staged.stage (fun () -> Sexp.to_string (Abstraction.to_sexp (Gre_module.abstraction ()))))
+
+let bench_table4 =
+  Test.make ~name:"table4: discovery + showPotential"
+    (Staged.stage (fun () -> ignore (Scenarios.build_vpn ())))
+
+(* Reused inputs for the per-run benchmarks (setup excluded from timing). *)
+let v_shared = Scenarios.build_vpn ()
+
+let bench_fig5 =
+  Test.make ~name:"fig5: potential graph (device A)"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (m, _) -> ignore (Potential_graph.below (Nm.topology v_shared.Scenarios.nm) m))
+           (Topology.modules_of_device (Nm.topology v_shared.Scenarios.nm) "id-A")))
+
+let bench_paths9 =
+  Test.make ~name:"paths9/fig6: path enumeration (9 paths)"
+    (Staged.stage (fun () ->
+         ignore (Nm.find_paths v_shared.Scenarios.nm v_shared.Scenarios.goal)))
+
+let gre_path =
+  List.find Scenarios.pure_gre (Nm.find_paths v_shared.Scenarios.nm v_shared.Scenarios.goal)
+
+let mpls_path =
+  List.find Scenarios.pure_mpls (Nm.find_paths v_shared.Scenarios.nm v_shared.Scenarios.goal)
+
+let bench_fig2 =
+  Test.make ~name:"fig2: GRE path script generation"
+    (Staged.stage (fun () ->
+         ignore
+           (Script_gen.generate (Nm.topology v_shared.Scenarios.nm) v_shared.Scenarios.goal
+              gre_path)))
+
+let bench_fig3 =
+  Test.make ~name:"fig3: GRE establishment (full coordination)"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn () in
+         let p = List.find Scenarios.pure_gre (Nm.find_paths v.Scenarios.nm v.Scenarios.goal) in
+         ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
+
+let bench_fig7_today =
+  Test.make ~name:"fig7a: today's GRE scripts (execution)"
+    (Staged.stage (fun () ->
+         let tb = Netsim.Testbeds.vpn () in
+         ignore (Devconf.Linux_cli.run_script tb.Netsim.Testbeds.ra Devconf.Paper_scripts.gre_a);
+         ignore (Devconf.Linux_cli.run_script tb.Netsim.Testbeds.rb Devconf.Paper_scripts.gre_b);
+         ignore (Devconf.Linux_cli.run_script tb.Netsim.Testbeds.rc Devconf.Paper_scripts.gre_c)))
+
+let bench_fig7_conman =
+  Test.make ~name:"fig7b: CONMan GRE configuration (end-to-end)"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn () in
+         let p = List.find Scenarios.pure_gre (Nm.find_paths v.Scenarios.nm v.Scenarios.goal) in
+         ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
+
+let bench_fig8_conman =
+  Test.make ~name:"fig8b: CONMan MPLS configuration (end-to-end)"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn () in
+         let p = List.find Scenarios.pure_mpls (Nm.find_paths v.Scenarios.nm v.Scenarios.goal) in
+         ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
+
+let bench_fig9_conman =
+  Test.make ~name:"fig9b: CONMan VLAN tunnel (end-to-end)"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vlan () in
+         ignore
+           (Nm.achieve_l2 v.Scenarios.vnm ~scope:v.Scenarios.vscope
+              ~from_eth:(Ids.v "ETH" "a" "id-SwA") ~to_eth:(Ids.v "ETH" "c" "id-SwC"))))
+
+let bench_table5 =
+  Test.make ~name:"table5: script metrics (GRE today)"
+    (Staged.stage (fun () -> ignore (Devconf.Metrics.analyze_linux Devconf.Paper_scripts.gre_a)))
+
+let bench_table5_conman =
+  Test.make ~name:"table5: script metrics (GRE CONMan)"
+    (Staged.stage (fun () ->
+         let script =
+           Script_gen.generate (Nm.topology v_shared.Scenarios.nm) v_shared.Scenarios.goal gre_path
+         in
+         ignore (Script_gen.table5_counts script ~device:"id-A")))
+
+let bench_table6 =
+  Test.make ~name:"table6: GRE config + message accounting (n=3)"
+    (Staged.stage (fun () -> ignore (Report.table6_row_gre 3)))
+
+(* substrate benchmarks *)
+
+let configured_vpn =
+  let v = Scenarios.build_vpn () in
+  let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal mpls_path in
+  ignore (Scenarios.vpn_reachable v);
+  v
+
+let bench_dataplane_ping =
+  Test.make ~name:"substrate: ping across configured MPLS VPN"
+    (Staged.stage (fun () ->
+         ignore
+           (Netsim.Ping.reachable configured_vpn.Scenarios.tb.Netsim.Testbeds.vpn_net
+              ~from:configured_vpn.Scenarios.tb.Netsim.Testbeds.host1
+              ~src:(Packet.Ipv4_addr.of_string "10.0.1.2")
+              ~dst:(Packet.Ipv4_addr.of_string "10.0.2.2")
+              ())))
+
+let bench_wire_codec =
+  let msg =
+    Wire.Convey
+      {
+        src = Ids.v "GRE" "l" "id-A";
+        dst = Ids.v "GRE" "n" "id-C";
+        payload =
+          Peer_msg.Gre_params { pipe = "P1"; ikey = 1001l; okey = 2001l; use_seq = true; use_csum = true };
+      }
+  in
+  let encoded = Wire.encode msg in
+  Test.make ~name:"substrate: wire decode (convey)"
+    (Staged.stage (fun () -> ignore (Wire.decode encoded)))
+
+let bench_ipv4_codec =
+  let pkt =
+    Packet.Ipv4.encode
+      (Packet.Ipv4.make ~proto:Packet.Ip_proto.Udp
+         ~src:(Packet.Ipv4_addr.of_string "10.0.0.1")
+         ~dst:(Packet.Ipv4_addr.of_string "10.0.0.2")
+         ())
+      (Bytes.create 512)
+  in
+  Test.make ~name:"substrate: IPv4 decode (512B payload)"
+    (Staged.stage (fun () -> ignore (Packet.Ipv4.decode pkt)))
+
+let diamond_shared = Scenarios.build_diamond ()
+
+let bench_full_search =
+  Test.make ~name:"ablation: full path search (diamond)"
+    (Staged.stage (fun () ->
+         ignore
+           (Path_finder.find (Nm.topology diamond_shared.Scenarios.dnm)
+              diamond_shared.Scenarios.dgoal)))
+
+let bench_hierarchical_search =
+  Test.make ~name:"ablation: hierarchical path search (diamond)"
+    (Staged.stage (fun () ->
+         ignore
+           (Path_finder.find_hierarchical (Nm.topology diamond_shared.Scenarios.dnm)
+              diamond_shared.Scenarios.dgoal)))
+
+let bench_secure_vpn =
+  Test.make ~name:"extension: IPsec VPN (ESP + IKE over data plane)"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn ~secure:true () in
+         let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+         let p = List.find Scenarios.secure paths in
+         ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
+
+let bench_raw_channel =
+  Test.make ~name:"substrate: raw-channel flooded showActual"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn ~channel:`Raw () in
+         ignore (Nm.show_actual v.Scenarios.nm "id-C")))
+
+let all_tests =
+  Test.make_grouped ~name:"conman"
+    [
+      bench_table3;
+      bench_table4;
+      bench_fig5;
+      bench_paths9;
+      bench_fig2;
+      bench_fig3;
+      bench_fig7_today;
+      bench_fig7_conman;
+      bench_fig8_conman;
+      bench_fig9_conman;
+      bench_table5;
+      bench_table5_conman;
+      bench_table6;
+      bench_dataplane_ping;
+      bench_wire_codec;
+      bench_ipv4_codec;
+      bench_raw_channel;
+      bench_secure_vpn;
+      bench_full_search;
+      bench_hierarchical_search;
+    ]
+
+let run_benchmarks () =
+  print_endline "\n===== micro-benchmarks (bechamel, ns/run) =====";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ x ] -> x | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Printf.printf "%-60s %14.0f ns/run\n" name est) rows
+
+let () =
+  reproductions ();
+  run_benchmarks ()

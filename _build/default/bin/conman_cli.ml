@@ -1,0 +1,179 @@
+(* The command-line front end: reproduce individual tables/figures of the
+   paper, run the demo scenarios, or drive the NM interactively over the
+   simulated testbeds.
+
+   Examples:
+     conman repro table5
+     conman repro table6 --routers 2,3,4,5,6,7,8
+     conman demo gre --channel raw
+     conman paths
+     conman debug --fault cut-link *)
+
+open Cmdliner
+open Conman
+
+let ppf = Fmt.stdout
+
+(* --- repro ------------------------------------------------------------------- *)
+
+let repro_what =
+  let doc =
+    "What to reproduce: table3, table4, table5, table6, fig2, fig3, fig5, fig6, fig7, fig8, \
+     fig9, paths9, or 'all'."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
+
+let routers_arg =
+  let doc = "Comma-separated path lengths (router counts) for the table-6 sweep." in
+  Arg.(value & opt (list int) [ 2; 3; 4; 5; 6 ] & info [ "routers" ] ~docv:"NS" ~doc)
+
+let repro what ns =
+  let vpn () = Scenarios.build_vpn () in
+  (match what with
+  | "table3" -> Report.table3 ppf ()
+  | "table4" -> Report.table4 ppf (vpn ())
+  | "table5" -> Report.table5 ppf ()
+  | "table6" -> Report.table6 ~ns ppf ()
+  | "fig2" -> Report.fig2 ppf (vpn ())
+  | "fig3" -> Report.fig3 ppf ()
+  | "fig5" -> Report.fig5 ppf (vpn ())
+  | "fig6" -> Report.fig6 ppf (vpn ())
+  | "fig7" -> Report.fig7 ppf ()
+  | "fig8" -> Report.fig8 ppf ()
+  | "fig9" -> Report.fig9 ppf ()
+  | "paths9" -> ignore (Report.paths9 ppf (vpn ()))
+  | "all" ->
+      Report.table3 ppf ();
+      let v = vpn () in
+      Report.table4 ppf v;
+      Report.fig5 ppf v;
+      Report.fig2 ppf v;
+      ignore (Report.paths9 ppf v);
+      Report.fig6 ppf v;
+      Report.fig3 ppf ();
+      Report.fig7 ppf ();
+      Report.fig8 ppf ();
+      Report.fig9 ppf ();
+      Report.table5 ppf ();
+      Report.table6 ~ns ppf ()
+  | other -> Fmt.epr "unknown reproduction target: %s@." other);
+  ()
+
+let repro_cmd =
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce a table or figure of the paper")
+    Term.(const repro $ repro_what $ routers_arg)
+
+(* --- demo -------------------------------------------------------------------- *)
+
+let channel_arg =
+  let kind_conv = Arg.enum [ ("oob", `Oob); ("raw", `Raw) ] in
+  let doc = "Management channel: 'oob' (pre-configured, out of band) or 'raw' (in-band flooding)." in
+  Arg.(value & opt kind_conv `Oob & info [ "channel" ] ~docv:"KIND" ~doc)
+
+let scenario_arg =
+  let doc = "Scenario: gre, mpls, ipip, esp, vlan or auto (let the NM choose)." in
+  Arg.(value & pos 0 string "auto" & info [] ~docv:"SCENARIO" ~doc)
+
+let demo scenario channel =
+  match scenario with
+  | "vlan" -> (
+      let v = Scenarios.build_vlan ~channel () in
+      match
+        Nm.achieve_l2 v.Scenarios.vnm ~scope:v.Scenarios.vscope
+          ~from_eth:(Ids.v "ETH" "a" "id-SwA") ~to_eth:(Ids.v "ETH" "c" "id-SwC")
+      with
+      | Error e -> Fmt.epr "failed: %s@." e
+      | Ok script ->
+          Fmt.pr "CONMan script (switch A):@.";
+          Script_gen.pp_device_script ppf (List.assoc "id-SwA" script.Script_gen.per_device);
+          Fmt.pr "customers bridged: %b@." (Scenarios.vlan_reachable v))
+  | scenario -> (
+      let v = Scenarios.build_vpn ~channel ~secure:(scenario = "esp") () in
+      let result =
+        match scenario with
+        | "auto" -> Nm.achieve v.Scenarios.nm v.Scenarios.goal
+        | name ->
+            let pick =
+              match name with
+              | "gre" -> Scenarios.pure_gre
+              | "mpls" -> Scenarios.pure_mpls
+              | "ipip" -> Scenarios.pure_ipip
+              | "esp" -> Scenarios.secure
+              | other -> Fmt.failwith "unknown scenario %s" other
+            in
+            let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+            let path = List.find pick paths in
+            let script = Nm.configure_path v.Scenarios.nm v.Scenarios.goal path in
+            Ok (paths, path, script)
+      in
+      match result with
+      | Error e -> Fmt.epr "failed: %s@." e
+      | Ok (_, path, script) ->
+          Fmt.pr "configured path: %a@.@." Path_finder.pp path;
+          List.iter
+            (fun (dev, prims) ->
+              Fmt.pr "--- %s ---@." dev;
+              Script_gen.pp_device_script ppf prims)
+            script.Script_gen.per_device;
+          Fmt.pr "@.S1 <-> S2 reachable: %b@." (Scenarios.vpn_reachable v);
+          Fmt.pr "NM messages: %d sent, %d received@." (Nm.stats_sent v.Scenarios.nm)
+            (Nm.stats_received v.Scenarios.nm))
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Configure the figure-4 VPN (or figure-9 VLAN) testbed via CONMan")
+    Term.(const demo $ scenario_arg $ channel_arg)
+
+(* --- paths -------------------------------------------------------------------- *)
+
+let paths_cmd =
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Enumerate the module-level paths for the VPN goal")
+    Term.(const (fun () -> ignore (Report.paths9 ppf (Scenarios.build_vpn ()))) $ const ())
+
+(* --- debug -------------------------------------------------------------------- *)
+
+let fault_arg =
+  let doc = "Fault to inject before diagnosing: none, cut-link, key-mismatch." in
+  Arg.(value & opt string "cut-link" & info [ "fault" ] ~docv:"FAULT" ~doc)
+
+let debug fault =
+  let v = Scenarios.build_vpn () in
+  let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+  let gre = List.find Scenarios.pure_gre paths in
+  let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal gre in
+  Fmt.pr "configured %a; reachable: %b@." Path_finder.pp gre (Scenarios.vpn_reachable v);
+  (match fault with
+  | "cut-link" ->
+      Netsim.Link.cut
+        (Option.get (Netsim.Net.find_segment v.Scenarios.tb.Netsim.Testbeds.vpn_net "A--B"));
+      Fmt.pr "injected fault: cut the A--B wire@."
+  | "key-mismatch" ->
+      (match
+         (Netsim.Device.find_iface_exn v.Scenarios.tb.Netsim.Testbeds.rc "gre-P10-P9")
+           .Netsim.Device.if_kind
+       with
+      | Netsim.Device.Tun t -> t.Netsim.Device.t_ikey <- Some 4242l
+      | _ -> ());
+      Fmt.pr "injected fault: changed the tunnel ikey at router C out-of-band@."
+  | _ -> Fmt.pr "no fault injected@.");
+  Fmt.pr "reachable now: %b@.diagnosis:@." (Scenarios.vpn_reachable v);
+  List.iter
+    (fun (m, ok, detail) ->
+      Fmt.pr "  %-20s %s %s@." (Ids.to_string m) (if ok then "ok  " else "FAIL") detail)
+    (Nm.diagnose v.Scenarios.nm gre)
+
+let debug_cmd =
+  Cmd.v
+    (Cmd.info "debug" ~doc:"Inject a fault and let the NM localise it")
+    Term.(const debug $ fault_arg)
+
+(* --- main --------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "conman" ~version:"1.0.0"
+      ~doc:"CONMan: Complexity Oblivious Network Management (SIGCOMM 2007), reproduced in OCaml"
+  in
+  exit (Cmd.eval (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd ]))

@@ -1,0 +1,1 @@
+examples/dependency_tracking.ml: Conman Fmt Ids Ip_module List Netsim Nm Scenarios String

@@ -1,0 +1,1 @@
+examples/fault_debugging.ml: Conman Device Fmt Ids Link List Net Netsim Nm Option Path_finder Scenarios Testbeds

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conman Fmt Ids List Nm Path_finder Scenarios Script_gen

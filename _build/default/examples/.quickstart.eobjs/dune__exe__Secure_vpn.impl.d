@@ -1,0 +1,1 @@
+examples/secure_vpn.ml: Conman Fmt Ids List Netsim Nm Path_finder Scenarios Script_gen

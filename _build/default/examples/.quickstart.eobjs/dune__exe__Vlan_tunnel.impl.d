@@ -1,0 +1,1 @@
+examples/vlan_tunnel.ml: Bytes Conman Devconf Fmt Ids List Netsim Nm Packet Ping Report Scenarios String Testbeds

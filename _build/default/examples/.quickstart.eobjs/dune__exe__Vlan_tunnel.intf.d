@@ -1,0 +1,1 @@
+examples/vlan_tunnel.mli:

@@ -1,0 +1,1 @@
+examples/vpn_provisioning.ml: Conman Fmt Nm Path_finder Report Scenarios

@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Fmt List Printf Sexp String

@@ -1,0 +1,1 @@
+lib/core/agent.ml: Array Devconf Fmt Ids List Mgmt Module_impl Netsim Primitive Sexp Wire

@@ -1,0 +1,1 @@
+lib/core/agent.mli: Ids Mgmt Module_impl Netsim

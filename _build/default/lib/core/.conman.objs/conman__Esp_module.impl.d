@@ -1,0 +1,1 @@
+lib/core/esp_module.ml: Abstraction Fmt Ids List Module_impl Netsim Primitive Printf String

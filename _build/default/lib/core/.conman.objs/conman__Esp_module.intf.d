@@ -1,0 +1,1 @@
+lib/core/esp_module.mli: Abstraction Ids Module_impl

@@ -1,0 +1,1 @@
+lib/core/eth_module.ml: Abstraction Fmt Ids List Module_impl Netsim Option Packet Primitive Printf String

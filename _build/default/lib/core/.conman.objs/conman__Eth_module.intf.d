@@ -1,0 +1,1 @@
+lib/core/eth_module.mli: Ids Module_impl

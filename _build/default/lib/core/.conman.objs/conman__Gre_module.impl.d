@@ -1,0 +1,1 @@
+lib/core/gre_module.ml: Abstraction Fmt Ids Int32 List Module_impl Netsim Option Peer_msg Primitive Printf String

@@ -1,0 +1,1 @@
+lib/core/gre_module.mli: Abstraction Ids Module_impl

@@ -1,0 +1,1 @@
+lib/core/ike_module.ml: Abstraction Bytes Ids Int32 List Module_impl Netsim Packet Printf Sexp String

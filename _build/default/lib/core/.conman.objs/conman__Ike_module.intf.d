@@ -1,0 +1,1 @@
+lib/core/ike_module.mli: Abstraction Ids Module_impl

@@ -1,0 +1,1 @@
+lib/core/ip_module.ml: Abstraction Bytes Fmt Ids List Module_impl Netsim Option Packet Peer_msg Primitive Printf String Wire

@@ -1,0 +1,1 @@
+lib/core/ip_module.mli: Abstraction Ids Module_impl

@@ -1,0 +1,1 @@
+lib/core/module_impl.ml: Abstraction Devconf Fmt Ids List Netsim Peer_msg Primitive String Wire

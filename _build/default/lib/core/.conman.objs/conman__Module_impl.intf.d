@@ -1,0 +1,1 @@
+lib/core/module_impl.mli: Abstraction Format Ids Netsim Peer_msg Primitive Wire

@@ -1,0 +1,1 @@
+lib/core/mpls_module.ml: Abstraction Devconf Fmt Ids Int32 List Module_impl Netsim Option Packet Peer_msg Primitive Printf Scanf String Wire

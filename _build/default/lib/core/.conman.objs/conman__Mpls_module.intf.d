@@ -1,0 +1,1 @@
+lib/core/mpls_module.mli: Abstraction Ids Module_impl

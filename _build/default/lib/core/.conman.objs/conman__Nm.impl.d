@@ -1,0 +1,1 @@
+lib/core/nm.ml: Abstraction Array Ids List Mgmt Netsim Path_finder Peer_msg Primitive Printf Script_gen Sexp Topology Wire

@@ -1,0 +1,1 @@
+lib/core/nm.mli: Ids Mgmt Netsim Path_finder Peer_msg Script_gen Topology

@@ -1,0 +1,1 @@
+lib/core/path_finder.ml: Abstraction Fmt Ids List Potential_graph String Topology

@@ -1,0 +1,1 @@
+lib/core/path_finder.mli: Abstraction Fmt Ids Topology

@@ -1,0 +1,1 @@
+lib/core/peer_msg.ml: Int32 List Sexp

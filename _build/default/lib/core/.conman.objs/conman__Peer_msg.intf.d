@@ -1,0 +1,1 @@
+lib/core/peer_msg.mli: Fmt Sexp

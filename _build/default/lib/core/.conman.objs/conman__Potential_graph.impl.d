@@ -1,0 +1,1 @@
+lib/core/potential_graph.ml: Abstraction Fmt Ids List Option String Topology

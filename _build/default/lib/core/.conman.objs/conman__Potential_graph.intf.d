@@ -1,0 +1,1 @@
+lib/core/potential_graph.mli: Abstraction Format Ids Topology

@@ -1,0 +1,1 @@
+lib/core/primitive.ml: Devconf Fmt Ids List Printf Sexp String

@@ -1,0 +1,1 @@
+lib/core/primitive.mli: Devconf Fmt Ids Sexp

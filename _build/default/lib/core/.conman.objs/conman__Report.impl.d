@@ -1,0 +1,1 @@
+lib/core/report.ml: Abstraction Devconf Fmt Gre_module Ids List Netsim Nm Path_finder Peer_msg Potential_graph Primitive Printf Scenarios Script_gen String Topology

@@ -1,0 +1,1 @@
+lib/core/report.mli: Devconf Format Path_finder Scenarios

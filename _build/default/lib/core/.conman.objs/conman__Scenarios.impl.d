@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Agent Array Device Esp_module Eth_module Fun Gre_module Ids Ike_module Ip_module List Mgmt Mpls_module Net Netsim Nm Path_finder Printf Testbeds Topology Vlan_module

@@ -1,0 +1,1 @@
+lib/core/scenarios.mli: Agent Ip_module Mgmt Netsim Nm Path_finder

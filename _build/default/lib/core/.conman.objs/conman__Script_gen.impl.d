@@ -1,0 +1,1 @@
+lib/core/script_gen.ml: Abstraction Array Fmt Hashtbl Ids List Option Path_finder Primitive Printf Topology

@@ -1,0 +1,1 @@
+lib/core/script_gen.mli: Devconf Format Ids Path_finder Primitive Topology

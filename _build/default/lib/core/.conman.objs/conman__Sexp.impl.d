@@ -1,0 +1,1 @@
+lib/core/sexp.ml: Buffer Fmt Ids List Printf String

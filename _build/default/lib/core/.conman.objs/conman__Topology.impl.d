@@ -1,0 +1,1 @@
+lib/core/topology.ml: Abstraction Fmt Ids List Option

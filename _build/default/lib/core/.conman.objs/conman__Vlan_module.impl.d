@@ -1,0 +1,1 @@
+lib/core/vlan_module.ml: Abstraction Ids List Module_impl Netsim Option Peer_msg Primitive Wire

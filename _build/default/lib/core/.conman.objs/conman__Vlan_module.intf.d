@@ -1,0 +1,1 @@
+lib/core/vlan_module.mli: Abstraction Ids Module_impl

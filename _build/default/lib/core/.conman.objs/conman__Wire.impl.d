@@ -1,0 +1,1 @@
+lib/core/wire.ml: Abstraction Bytes Ids List Peer_msg Primitive Sexp

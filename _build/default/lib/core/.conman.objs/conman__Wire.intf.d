@@ -1,0 +1,1 @@
+lib/core/wire.mli: Abstraction Fmt Ids Peer_msg Primitive Sexp

@@ -1,0 +1,178 @@
+(* The management agent (MA) of a device (§II): it announces physical
+   connectivity, answers showPotential/showActual, executes script bundles
+   by dispatching primitives to the local protocol modules, and relays
+   conveyMessage traffic between its modules and the NM. *)
+
+type t = {
+  device : Netsim.Device.t;
+  chan : Mgmt.Channel.t;
+  mutable nm_device : string; (* device id of the NM currently in charge *)
+  mutable modules : Module_impl.t list;
+  mutable annex : Wire.annex;
+  mutable polling : bool;
+  mutable repoll : bool; (* progress was made mid-pass: run another pass *)
+}
+
+let find_module t mref = List.find_opt (fun m -> Ids.equal m.Module_impl.mref mref) t.modules
+
+let find_module_exn t mref =
+  match find_module t mref with
+  | Some m -> m
+  | None -> failwith (Fmt.str "%s: no module %a" t.device.Netsim.Device.dev_name Ids.pp mref)
+
+let send t msg =
+  Mgmt.Channel.send t.chan ~src:t.device.Netsim.Device.dev_id ~dst:t.nm_device (Wire.encode msg)
+
+(* Re-polls every module until no one makes further progress; modules call
+   [env.progress] when they unblock deferred work of other modules (which,
+   mid-pass, schedules another pass so earlier modules see the new state). *)
+let rec poll_all t =
+  if t.polling then t.repoll <- true
+  else begin
+    t.polling <- true;
+    t.repoll <- true;
+    (* each productive pass consumes pending work, so the dependency depth
+       bounds the passes; the budget guards against a livelocked module *)
+    let budget = ref (4 * (1 + List.length t.modules)) in
+    while t.repoll && !budget > 0 do
+      t.repoll <- false;
+      decr budget;
+      List.iter (fun m -> m.Module_impl.poll ()) t.modules
+    done;
+    t.polling <- false
+  end
+
+and env_of t : Module_impl.env =
+  {
+    Module_impl.device = t.device;
+    my_dev = t.device.Netsim.Device.dev_id;
+    convey =
+      (fun ~src ~dst payload ->
+        (* all module-to-module traffic is relayed through the NM *)
+        send t (Wire.Convey { src; dst; payload }));
+    notify_nm = send t;
+    local_query =
+      (fun mref key ->
+        match find_module t mref with Some m -> m.Module_impl.fields key | None -> None);
+    domain_prefix = (fun d -> List.assoc_opt d t.annex.Wire.domains);
+    domains = (fun () -> t.annex.Wire.domains);
+    is_reporter =
+      (fun mref ->
+        match t.annex.Wire.reporter with Some r -> Ids.equal r mref | None -> false);
+    progress = (fun () -> poll_all t);
+    schedule =
+      (fun ~delay_ns f -> Netsim.Event_queue.schedule t.device.Netsim.Device.eq ~delay_ns f);
+  }
+
+let exec_primitive t (prim : Primitive.t) =
+  match prim with
+  | Primitive.Create_pipe spec ->
+      (* Delivered to the device owning both endpoints: dispatch to the top
+         module as `Top and the bottom module as `Bottom. *)
+      (find_module_exn t spec.Primitive.top).Module_impl.create_pipe spec `Top;
+      (find_module_exn t spec.Primitive.bottom).Module_impl.create_pipe spec `Bottom
+  | Primitive.Create_switch { owner; rule } ->
+      (find_module_exn t owner).Module_impl.create_switch rule
+  | Primitive.Create_filter { owner; drop_src; drop_dst } ->
+      (find_module_exn t owner).Module_impl.create_filter ~drop_src ~drop_dst
+  | Primitive.Create_perf { owner; pipe_id; rate_kbps } ->
+      (find_module_exn t owner).Module_impl.create_perf ~pipe_id ~rate_kbps
+  | Primitive.Delete_perf { owner; pipe_id } ->
+      (find_module_exn t owner).Module_impl.delete_perf ~pipe_id
+  | Primitive.Delete_pipe { owner = _; pipe_id } ->
+      (* both endpoint modules hold state for the pipe; modules ignore
+         unknown pipe ids *)
+      List.iter (fun m -> m.Module_impl.delete_pipe pipe_id) t.modules
+  | Primitive.Delete_switch { owner; rule } ->
+      (find_module_exn t owner).Module_impl.delete_switch rule
+  | Primitive.Delete_filter { owner; drop_src; drop_dst } ->
+      (find_module_exn t owner).Module_impl.delete_filter ~drop_src ~drop_dst
+
+let handle t ~src:_ payload =
+  match Wire.decode payload with
+  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+  | Wire.Show_potential_req { req } ->
+      let modules =
+        List.map (fun m -> (m.Module_impl.mref, m.Module_impl.abstraction ())) t.modules
+      in
+      send t (Wire.Show_potential_resp { req; modules })
+  | Wire.Show_actual_req { req } ->
+      let state = List.map (fun m -> (m.Module_impl.mref, m.Module_impl.actual ())) t.modules in
+      send t (Wire.Show_actual_resp { req; state })
+  | Wire.Bundle { req; cmds; annex } -> (
+      t.annex <-
+        {
+          Wire.domains =
+            annex.Wire.domains
+            @ List.filter
+                (fun (d, _) -> not (List.mem_assoc d annex.Wire.domains))
+                t.annex.Wire.domains;
+          reporter = (match annex.Wire.reporter with Some r -> Some r | None -> t.annex.Wire.reporter);
+        };
+      try
+        List.iter (exec_primitive t) cmds;
+        poll_all t
+      with Failure e | Devconf.Linux_cli.Error e -> send t (Wire.Bundle_err { req; error = e }))
+  | Wire.Self_test_req { req; target; against } -> (
+      match find_module t target with
+      | Some m ->
+          m.Module_impl.self_test ~against ~reply:(fun ~ok ~detail ->
+              send t (Wire.Self_test_resp { req; target; ok; detail }))
+      | None ->
+          send t (Wire.Self_test_resp { req; target; ok = false; detail = "no such module" }))
+  | Wire.Convey { src; dst; payload } -> (
+      match find_module t dst with
+      | Some m ->
+          m.Module_impl.on_peer ~src payload;
+          poll_all t
+      | None -> ())
+  | Wire.Set_address { target; addr; plen } -> (
+      match find_module t target with
+      | Some m ->
+          m.Module_impl.set_address ~addr ~plen;
+          poll_all t
+      | None -> ())
+  | Wire.Nm_takeover { nm } ->
+      (* a standby NM took over (§V): all further management traffic,
+         including triggers and conveys, goes to it *)
+      t.nm_device <- nm
+  | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Bundle_err _
+  | Wire.Self_test_resp _ | Wire.Completion _ | Wire.Trigger _ ->
+      (* NM-bound messages; not meaningful at an agent *)
+      ()
+
+let create ~chan ~nm_device device =
+  let t =
+    {
+      device;
+      chan;
+      nm_device;
+      modules = [];
+      annex = Wire.empty_annex;
+      polling = false;
+      repoll = false;
+    }
+  in
+  Mgmt.Channel.subscribe chan ~device_id:device.Netsim.Device.dev_id (fun ~src payload ->
+      handle t ~src payload);
+  t
+
+let register t impl = t.modules <- t.modules @ [ impl ]
+
+let env t = env_of t
+
+(* Announces physical connectivity to the NM, as every device does at
+   startup (§II-D). *)
+let announce t net =
+  let ports =
+    Array.to_list t.device.Netsim.Device.ports
+    |> List.concat_map (fun (p : Netsim.Device.port) ->
+           Netsim.Net.neighbours net t.device p.Netsim.Device.port_index
+           |> List.map (fun (d, pi) ->
+                  ( p.Netsim.Device.port_name,
+                    d.Netsim.Device.dev_id,
+                    (Netsim.Device.port d pi).Netsim.Device.port_name )))
+  in
+  send t (Wire.Hello { ports })
+
+let modules t = t.modules

@@ -1,0 +1,29 @@
+(** The management agent (MA) of a device (§II).
+
+    Announces physical connectivity, answers showPotential/showActual,
+    executes script bundles by dispatching primitives to the local protocol
+    modules, relays conveyMessage traffic between its modules and the NM,
+    and switches allegiance on an [Nm_takeover]. *)
+
+type t
+
+val create : chan:Mgmt.Channel.t -> nm_device:string -> Netsim.Device.t -> t
+(** Creates the agent and subscribes it to the management channel under its
+    device's id. [nm_device] is the NM's initial station id. *)
+
+val register : t -> Module_impl.t -> unit
+(** Adds a protocol module to the device. *)
+
+val env : t -> Module_impl.env
+(** The environment handed to protocol modules: conveyMessage uplink,
+    local listFieldsAndValues, annex knowledge, scheduling. *)
+
+val announce : t -> Netsim.Net.t -> unit
+(** Sends the Hello with the device's physical connectivity (§II-D). *)
+
+val modules : t -> Module_impl.t list
+
+val handle : t -> src:string -> bytes -> unit
+(** The channel receive handler (exposed for tests). *)
+
+val find_module : t -> Ids.t -> Module_impl.t option

@@ -1,0 +1,19 @@
+(** The ETH protocol module.
+
+    On hosts and routers, one per port, passing packets between its
+    physical pipe and the module above ([phy=>up]/[up=>phy]). On layer-2
+    switches a single ETH module covers all ports and additionally
+    advertises [phy=>phy] switching — the distinction the NM uses to tell
+    a switch from a router (§II-C.2, Table IV). *)
+
+val make :
+  env:Module_impl.env ->
+  mref:Ids.t ->
+  ports:int list ->
+  switching:bool ->
+  neighbours:(int -> (string * string) list) ->
+  unit ->
+  Module_impl.t
+(** [make ~env ~mref ~ports ~switching ~neighbours ()] wraps the given
+    device ports. [neighbours i] reports the physical peers of port [i] as
+    [(device id, port name)] pairs, used to advertise physical pipes. *)

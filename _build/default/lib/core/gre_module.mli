@@ -1,0 +1,15 @@
+(** The GRE protocol module (§III-B, Table III).
+
+    A wrapper around the (simulated) kernel GRE implementation: the NM only
+    creates pipes and one switch rule; the module negotiates keys, sequence
+    numbers and checksums with its peer GRE module through conveyMessage
+    and then emits the same [ip tunnel add] command an operator would have
+    typed. The performance trade-offs requested on the up pipe
+    ("in-order-delivery", "low-error-rate") decide the optional protocol
+    features without the NM ever seeing them. *)
+
+val abstraction : unit -> Abstraction.t
+(** The self-description of Table III. *)
+
+val make : env:Module_impl.env -> mref:Ids.t -> unit -> Module_impl.t
+(** A fresh GRE module for the device behind [env]. *)

@@ -1,0 +1,33 @@
+(** The IP protocol module.
+
+    A device may host several IP module instances (figure 4(b): router A
+    has the customer-facing g and the core-facing h), each bound to a set
+    of interfaces and an address domain. As the bottom of a tunnel pipe it
+    exchanges endpoint addresses with its peer; as the top of a pipe over
+    ETH it exchanges next-hop addresses; switch rules translate into the
+    same iproute2-style commands the "today" scripts use (routes, policy
+    tables, label imposition when the pipe below is MPLS). *)
+
+type state
+(** The module's mutable internals (pipes, deferred rules, filters). *)
+
+val abstraction : unit -> Abstraction.t
+
+(** A handle for operator-style actions used by the dependency-tracking
+    experiments. *)
+type handle = {
+  change_address : iface:string -> string -> string -> unit;
+      (** [change_address ~iface old new_] renumbers the interface and
+          fires a [Trigger] to the NM (§II-E). *)
+  state : state;
+}
+
+val make :
+  env:Module_impl.env ->
+  mref:Ids.t ->
+  ifaces:string list ->
+  domain:string ->
+  unit ->
+  Module_impl.t * handle
+(** [make ~env ~mref ~ifaces ~domain ()] builds an IP module bound to
+    [ifaces] in address [domain] ("ISP", "C1", …). *)

@@ -1,0 +1,13 @@
+(** The MPLS protocol module.
+
+    Each down pipe (over ETH) is a label-switched adjacency: the module
+    allocates the label it wants to receive from that neighbour and conveys
+    it, with its interface address, to the adjacent MPLS module (downstream
+    label allocation). Switch rules translate into mpls-linux style
+    ILM/NHLFE/XC commands; the FTN for label imposition is exposed to the
+    IP module above through the [ftn-key:<pipe>]/[ftn-via:<pipe>] fields.
+    Advertises fast forwarding — the hint the paper's chooser uses to
+    prefer the MPLS path. *)
+
+val abstraction : unit -> Abstraction.t
+val make : env:Module_impl.env -> mref:Ids.t -> unit -> Module_impl.t

@@ -1,0 +1,470 @@
+(* The Network Manager (§II-D): discovers the network over the management
+   channel, harvests module abstractions, achieves high-level connectivity
+   goals by generating and executing CONMan scripts, relays conveyMessage
+   traffic between modules, and maintains dependencies via triggers.
+
+   The NM is driven from outside the event loop: its helpers send requests
+   and run the network to quiescence, while all module coordination happens
+   asynchronously inside the run. *)
+
+type stats = { mutable sent : int; mutable received : int }
+
+type t = {
+  chan : Mgmt.Channel.t;
+  my_id : string; (* device id of the management station *)
+  net : Netsim.Net.t;
+  topo : Topology.t;
+  stats : stats;
+  mutable req : int;
+  mutable outstanding : int list; (* unanswered request ids *)
+  mutable actuals : (int * (Ids.t * (string * string) list) list) list;
+  mutable completions : (Ids.t * string) list;
+  mutable errors : (string * string) list;
+  mutable self_tests : (int * (Ids.t * bool * string)) list;
+  mutable triggers : (Ids.t * string * string) list;
+  mutable convey_log : (Ids.t * Ids.t * Peer_msg.t) list; (* figure-3 trace *)
+  mutable active_scripts : Script_gen.script list; (* for dependency repair *)
+  mutable auto_repair : bool;
+}
+
+let send t ~dst msg =
+  t.stats.sent <- t.stats.sent + 1;
+  Mgmt.Channel.send t.chan ~src:t.my_id ~dst (Wire.encode msg)
+
+let annex_of t reporter =
+  { Wire.domains = t.topo.Topology.domain_prefixes; reporter }
+
+(* [batched:false] ships every primitive as its own message instead of one
+   bundle per device — an ablation of the paper's accounting assumption
+   that the NM sends "commands to each router" as one unit. *)
+let send_script ?(batched = true) t (script : Script_gen.script) =
+  List.iter
+    (fun (dev, prims) ->
+      let ship cmds =
+        t.req <- t.req + 1;
+        send t ~dst:dev
+          (Wire.Bundle { req = t.req; cmds; annex = annex_of t script.Script_gen.reporter })
+      in
+      if batched then ship prims else List.iter (fun p -> ship [ p ]) prims)
+    script.Script_gen.per_device
+
+let rec handle t ~src payload =
+  match Wire.decode payload with
+  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+  | msg -> (
+      t.stats.received <- t.stats.received + 1;
+      match msg with
+      | Wire.Hello { ports } -> Topology.record_hello t.topo ~src ports
+      | Wire.Show_potential_resp { req; modules } ->
+          Topology.record_potential t.topo ~src modules;
+          t.outstanding <- List.filter (( <> ) req) t.outstanding
+      | Wire.Show_actual_resp { req; state } ->
+          t.actuals <- (req, state) :: t.actuals;
+          t.outstanding <- List.filter (( <> ) req) t.outstanding
+      | Wire.Convey { src = msrc; dst; payload } ->
+          (* the NM relays module-to-module messages (conveyMessage) *)
+          t.convey_log <- (msrc, dst, payload) :: t.convey_log;
+          send t ~dst:dst.Ids.dev (Wire.Convey { src = msrc; dst; payload })
+      | Wire.Completion { src = m; what } -> t.completions <- (m, what) :: t.completions
+      | Wire.Bundle_err { req = _; error } -> t.errors <- (src, error) :: t.errors
+      | Wire.Self_test_resp { req; target; ok; detail } ->
+          t.self_tests <- (req, (target, ok, detail)) :: t.self_tests;
+          t.outstanding <- List.filter (( <> ) req) t.outstanding
+      | Wire.Trigger { src = m; field; value } ->
+          t.triggers <- (m, field, value) :: t.triggers;
+          (* dependency maintenance (§II-E): a low-level value changed; the
+             NM re-resolves the dependent state by re-issuing the affected
+             scripts, whose execution is idempotent. *)
+          if t.auto_repair then List.iter (send_script t) t.active_scripts
+      | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Bundle _ | Wire.Self_test_req _
+      | Wire.Nm_takeover _ | Wire.Set_address _ ->
+        ())
+
+and create ~chan ~net ~my_id () =
+  let t =
+    {
+      chan;
+      my_id;
+      net;
+      topo = Topology.create ();
+      stats = { sent = 0; received = 0 };
+      req = 0;
+      outstanding = [];
+      actuals = [];
+      completions = [];
+      errors = [];
+      self_tests = [];
+      triggers = [];
+      convey_log = [];
+      active_scripts = [];
+      auto_repair = false;
+    }
+  in
+  Mgmt.Channel.subscribe chan ~device_id:my_id (fun ~src payload -> handle t ~src payload);
+  t
+
+let reset_stats t =
+  t.stats.sent <- 0;
+  t.stats.received <- 0
+
+let run t = ignore (Netsim.Net.run t.net)
+
+(* --- discovery -------------------------------------------------------------- *)
+
+let fresh_req t =
+  t.req <- t.req + 1;
+  t.outstanding <- t.req :: t.outstanding;
+  t.req
+
+(* showPotential at every device the NM knows about (or is told to manage). *)
+let harvest_potentials t devices =
+  List.iter (fun dev -> send t ~dst:dev (Wire.Show_potential_req { req = fresh_req t })) devices;
+  run t
+
+let show_actual t dev =
+  let req = fresh_req t in
+  send t ~dst:dev (Wire.Show_actual_req { req });
+  run t;
+  List.assoc_opt req t.actuals
+
+(* --- goal achievement (figure 7(a) top: high-level goal -> low-level goal ->
+   CONMan script -> protocol state) ------------------------------------------ *)
+
+let find_paths t goal = Path_finder.find t.topo goal
+
+(* Generates the CONMan script for a specific path and executes it. *)
+let configure_path ?batched t goal path =
+  let script = Script_gen.generate t.topo goal path in
+  t.active_scripts <- script :: t.active_scripts;
+  send_script ?batched t script;
+  run t;
+  script
+
+let achieve ?(configure = true) t goal =
+  let paths = find_paths t goal in
+  match Path_finder.choose t.topo paths with
+  | None -> Error "no path satisfies the goal"
+  | Some path ->
+      let script =
+        if configure then configure_path t goal path
+        else Script_gen.generate t.topo goal path
+      in
+      Ok (paths, path, script)
+
+(* --- multiple NMs (§V): warm standby and takeover ------------------------------ *)
+
+(* Copies the primary's learnt state (topology, domain knowledge, active
+   scripts) into a standby NM so it can maintain the network after a
+   takeover. *)
+let replicate_to t ~(standby : t) =
+  standby.topo.Topology.devices <- t.topo.Topology.devices;
+  standby.topo.Topology.module_domains <- t.topo.Topology.module_domains;
+  standby.topo.Topology.domain_prefixes <- t.topo.Topology.domain_prefixes;
+  standby.active_scripts <- t.active_scripts;
+  standby.auto_repair <- t.auto_repair
+
+(* The standby announces itself as the NM in charge: every agent redirects
+   its management traffic (triggers, conveys, responses). *)
+let take_over t =
+  send t ~dst:Mgmt.Frame.broadcast (Wire.Nm_takeover { nm = t.my_id });
+  run t
+
+(* Assigns an address to an IP module — the task the paper deliberately
+   centralises in the NM "as DHCP servers do today" (§II-E). *)
+let assign_address t ~target ~addr ~plen =
+  send t ~dst:target.Ids.dev (Wire.Set_address { target; addr; plen });
+  run t
+
+(* Installs performance-enforcement state (§II-D.1(c)): rate-limit the
+   traffic a module sends into a pipe. *)
+let enforce_rate t ~owner ~pipe_id ~rate_kbps =
+  t.req <- t.req + 1;
+  send t ~dst:owner.Ids.dev
+    (Wire.Bundle
+       {
+         req = t.req;
+         cmds = [ Primitive.Create_perf { owner; pipe_id; rate_kbps } ];
+         annex = annex_of t None;
+       });
+  run t
+
+let remove_rate t ~owner ~pipe_id =
+  t.req <- t.req + 1;
+  send t ~dst:owner.Ids.dev
+    (Wire.Bundle
+       {
+         req = t.req;
+         cmds = [ Primitive.Delete_perf { owner; pipe_id } ];
+         annex = annex_of t None;
+       });
+  run t
+
+(* Tears a configured script down: deletes switch rules (undoing the
+   device-level state) and pipes, and stops maintaining it. *)
+let teardown t (script : Script_gen.script) =
+  let del = Script_gen.deletion_script script in
+  send_script t del;
+  t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
+  run t
+
+(* --- layer-2 (VLAN) goals: figure 9 ------------------------------------------
+
+   Connect two customer-facing ETH modules across a chain of layer-2
+   switches by creating VLAN pipes; the VID is negotiated by the modules. *)
+
+let eth_module_of t dev =
+  Topology.modules_of_device t.topo dev
+  |> List.find_map (fun ((m : Ids.t), (a : Abstraction.t)) ->
+         if a.Abstraction.name = "ETH" then Some m else None)
+
+let vlan_module_of t dev =
+  Topology.modules_of_device t.topo dev
+  |> List.find_map (fun ((m : Ids.t), (a : Abstraction.t)) ->
+         if a.Abstraction.name = "VLAN" then Some m else None)
+
+(* Device-level chain between two switches via physical links (BFS). *)
+let device_chain t ~scope ~src_dev ~dst_dev =
+  let links dev =
+    match Topology.device t.topo dev with
+    | Some d -> List.filter_map (fun (_, peer, _) -> if List.mem peer scope then Some peer else None) d.Topology.di_links
+    | None -> []
+  in
+  let rec bfs frontier seen =
+    match frontier with
+    | [] -> None
+    | (dev, path) :: rest ->
+        if dev = dst_dev then Some (List.rev (dev :: path))
+        else
+          let nexts =
+            List.filter (fun p -> not (List.mem p seen)) (links dev)
+            |> List.map (fun p -> (p, dev :: path))
+          in
+          bfs (rest @ nexts) (List.map fst nexts @ seen)
+  in
+  bfs [ (src_dev, []) ] [ src_dev ]
+
+(* The physical pipe id an ETH module advertises towards a peer device. *)
+let phys_pipe_towards t (eth : Ids.t) peer_dev =
+  let a = Topology.find_module_exn t.topo eth in
+  List.find_map
+    (fun (p : Abstraction.physical_pipe) ->
+      if p.Abstraction.peer_device = peer_dev then Some p.Abstraction.phys_id else None)
+    a.Abstraction.physical
+
+(* The physical pipe facing outside the managed scope: the customer port. *)
+let customer_phys t (eth : Ids.t) ~scope =
+  let a = Topology.find_module_exn t.topo eth in
+  List.find_map
+    (fun (p : Abstraction.physical_pipe) ->
+      if not (List.mem p.Abstraction.peer_device scope) then Some p.Abstraction.phys_id else None)
+    a.Abstraction.physical
+
+let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
+  match device_chain t ~scope ~src_dev:from_eth.Ids.dev ~dst_dev:to_eth.Ids.dev with
+  | None -> Error "no layer-2 chain between the switches"
+  | Some chain -> (
+      let vlans = List.filter_map (vlan_module_of t) chain in
+      let eths = List.filter_map (eth_module_of t) chain in
+      if List.length vlans <> List.length chain || List.length eths <> List.length chain then
+        Error "chain devices lack ETH/VLAN modules"
+      else
+        let vlan_arr = Array.of_list vlans and eth_arr = Array.of_list eths in
+        let n = Array.length vlan_arr in
+        let counter = ref 0 in
+        let fresh () =
+          incr counter;
+          Printf.sprintf "P%d" !counter
+        in
+        (* customer pipes at the two ends: top ETH, bottom VLAN, peered with
+           the far end (figure 9(b) P1) *)
+        let cust_a =
+          {
+            Primitive.pipe_id = fresh ();
+            top = eth_arr.(0);
+            bottom = vlan_arr.(0);
+            peer_top = Some eth_arr.(n - 1);
+            peer_bottom = Some vlan_arr.(n - 1);
+            tradeoffs = [];
+            deps = [];
+          }
+        in
+        let cust_c =
+          {
+            Primitive.pipe_id = fresh ();
+            top = eth_arr.(n - 1);
+            bottom = vlan_arr.(n - 1);
+            peer_top = Some eth_arr.(0);
+            peer_bottom = Some vlan_arr.(0);
+            tradeoffs = [];
+            deps = [];
+          }
+        in
+        (* trunk pipes: per adjacent switch pair, one pipe on each side
+           (top VLAN, bottom ETH), peered with the neighbour (fig 9(b) P2) *)
+        let trunks =
+          List.concat
+            (List.init (n - 1) (fun i ->
+                 let left =
+                   {
+                     Primitive.pipe_id = fresh ();
+                     top = vlan_arr.(i);
+                     bottom = eth_arr.(i);
+                     peer_top = Some vlan_arr.(i + 1);
+                     peer_bottom = Some eth_arr.(i + 1);
+                     tradeoffs = [];
+                     deps = [];
+                   }
+                 in
+                 let right =
+                   {
+                     Primitive.pipe_id = fresh ();
+                     top = vlan_arr.(i + 1);
+                     bottom = eth_arr.(i + 1);
+                     peer_top = Some vlan_arr.(i);
+                     peer_bottom = Some eth_arr.(i);
+                     tradeoffs = [];
+                     deps = [];
+                   }
+                 in
+                 [ ((i, `Left), left); ((i, `Right), right) ]))
+        in
+        let trunk side i = List.assoc (i, side) trunks in
+        let chain_arr = Array.of_list chain in
+        match
+          ( customer_phys t eth_arr.(0) ~scope,
+            customer_phys t eth_arr.(n - 1) ~scope )
+        with
+        | Some p0_a, Some p0_c ->
+            let prims = ref [] in
+            let add p = prims := !prims @ [ p ] in
+            add (Primitive.Create_pipe cust_a);
+            add (Primitive.Create_pipe cust_c);
+            List.iter (fun (_, sp) -> add (Primitive.Create_pipe sp)) trunks;
+            (* switch rules at the end switches (figure 9(b)) *)
+            let end_rules eth cust_pipe p0 =
+              add
+                (Primitive.Create_switch
+                   {
+                     owner = eth;
+                     rule =
+                       Primitive.Directed
+                         { from_pipe = p0; to_pipe = cust_pipe; sel = Primitive.Tagged };
+                   });
+              add
+                (Primitive.Create_switch
+                   {
+                     owner = eth;
+                     rule = Primitive.Directed { from_pipe = cust_pipe; to_pipe = p0; sel = Primitive.Any };
+                   })
+            in
+            end_rules eth_arr.(0) cust_a.Primitive.pipe_id p0_a;
+            end_rules eth_arr.(n - 1) cust_c.Primitive.pipe_id p0_c;
+            (* VLAN switch rules and trunk hand-off rules *)
+            add
+              (Primitive.Create_switch
+                 {
+                   owner = vlan_arr.(0);
+                   rule = Primitive.Bidi (cust_a.Primitive.pipe_id, (trunk `Left 0).Primitive.pipe_id);
+                 });
+            add
+              (Primitive.Create_switch
+                 {
+                   owner = vlan_arr.(n - 1);
+                   rule =
+                     Primitive.Bidi (cust_c.Primitive.pipe_id, (trunk `Right (n - 2)).Primitive.pipe_id);
+                 });
+            for i = 1 to n - 2 do
+              add
+                (Primitive.Create_switch
+                   {
+                     owner = vlan_arr.(i);
+                     rule =
+                       Primitive.Bidi
+                         ((trunk `Right (i - 1)).Primitive.pipe_id, (trunk `Left i).Primitive.pipe_id);
+                   })
+            done;
+            (* bind trunk pipes to their physical ports *)
+            for i = 0 to n - 2 do
+              (match phys_pipe_towards t eth_arr.(i) chain_arr.(i + 1) with
+              | Some phys ->
+                  add
+                    (Primitive.Create_switch
+                       {
+                         owner = eth_arr.(i);
+                         rule = Primitive.Bidi ((trunk `Left i).Primitive.pipe_id, phys);
+                       })
+              | None -> ());
+              match phys_pipe_towards t eth_arr.(i + 1) chain_arr.(i) with
+              | Some phys ->
+                  add
+                    (Primitive.Create_switch
+                       {
+                         owner = eth_arr.(i + 1);
+                         rule = Primitive.Bidi ((trunk `Right i).Primitive.pipe_id, phys);
+                       })
+              | None -> ()
+            done;
+            let per_device =
+              List.map (fun d -> (d, List.filter (fun p -> Primitive.target p = d) !prims)) chain
+            in
+            let script =
+              {
+                Script_gen.prims = !prims;
+                per_device;
+                reporter = Some vlan_arr.(n - 1);
+                path = { Path_finder.visits = [] };
+              }
+            in
+            if configure then begin
+              t.active_scripts <- script :: t.active_scripts;
+              send_script t script;
+              run t
+            end;
+            Ok script
+        | _ -> Error "could not locate the customer-facing ports")
+
+(* --- debugging (§II-D.2) ------------------------------------------------------ *)
+
+let self_test ?against t target =
+  let req = fresh_req t in
+  send t ~dst:target.Ids.dev (Wire.Self_test_req { req; target; against });
+  run t;
+  match List.assoc_opt req t.self_tests with
+  | Some (_, ok, detail) -> (ok, detail)
+  | None -> (false, "no response from device (management channel?)")
+
+(* Walks the modules of a configured path, self-testing each; returns the
+   per-module verdicts so a failure can be localised. *)
+let diagnose t (path : Path_finder.path) =
+  List.map
+    (fun (v : Path_finder.visit) ->
+      let ok, detail = self_test t v.Path_finder.v_mod in
+      (v.Path_finder.v_mod, ok, detail))
+    path.Path_finder.visits
+
+(* End-to-end probe: asks the path's first customer-edge IP module to test
+   data-plane connectivity all the way to the far edge module. Catches
+   faults the hop-by-hop tests miss (e.g. a tunnel silently dropping on a
+   key mismatch). *)
+let probe_end_to_end t (path : Path_finder.path) =
+  let edges =
+    List.filter
+      (fun (v : Path_finder.visit) ->
+        v.Path_finder.v_action = Path_finder.Inspect
+        && v.Path_finder.v_chain = Path_finder.base_ip)
+      path.Path_finder.visits
+  in
+  match edges with
+  | first :: (_ :: _ as rest) ->
+      let last = List.nth rest (List.length rest - 1) in
+      self_test ~against:last.Path_finder.v_mod t first.Path_finder.v_mod
+  | _ -> (false, "path has no customer-edge IP modules")
+
+let topology t = t.topo
+let conveys t = List.rev t.convey_log
+let completions t = t.completions
+let errors t = t.errors
+let triggers t = t.triggers
+let set_auto_repair t v = t.auto_repair <- v
+let stats_sent t = t.stats.sent
+let stats_received t = t.stats.received

@@ -1,0 +1,110 @@
+(** The Network Manager (§II-D).
+
+    Discovers the network over the management channel, harvests module
+    abstractions with showPotential, achieves high-level connectivity goals
+    by generating and executing CONMan scripts, relays conveyMessage
+    traffic between modules (without interpreting it), accounts messages
+    (Table VI), diagnoses faults and maintains dependencies via triggers.
+
+    The NM is driven from outside the event loop: its helpers send requests
+    and run the network to quiescence, while module coordination happens
+    asynchronously inside the run. *)
+
+type t
+
+val create : chan:Mgmt.Channel.t -> net:Netsim.Net.t -> my_id:string -> unit -> t
+(** A NM subscribed to the channel as device [my_id]. *)
+
+val run : t -> unit
+(** Runs the network to quiescence. *)
+
+(** {1 Discovery} *)
+
+val harvest_potentials : t -> string list -> unit
+(** showPotential at every listed device; fills {!topology}. *)
+
+val show_actual : t -> string -> (Ids.t * (string * string) list) list option
+(** showActual at one device: per-module low-level state report. *)
+
+val topology : t -> Topology.t
+
+(** {1 Goal achievement (§III-C)} *)
+
+val find_paths : t -> Path_finder.goal -> Path_finder.path list
+
+val configure_path :
+  ?batched:bool -> t -> Path_finder.goal -> Path_finder.path -> Script_gen.script
+(** Generates the CONMan script for a specific path and executes it.
+    [batched:false] ships one message per primitive instead of one bundle
+    per device (ablation of the Table-VI accounting). *)
+
+val achieve :
+  ?configure:bool ->
+  t ->
+  Path_finder.goal ->
+  (Path_finder.path list * Path_finder.path * Script_gen.script, string) result
+(** The full pipeline: enumerate, choose, generate and (unless
+    [configure:false]) execute. Returns all candidate paths, the chosen
+    one, and its script. *)
+
+val achieve_l2 :
+  ?configure:bool ->
+  t ->
+  scope:string list ->
+  from_eth:Ids.t ->
+  to_eth:Ids.t ->
+  (Script_gen.script, string) result
+(** The figure-9 layer-2 goal: bridge two customer-facing ETH modules
+    across a chain of switches with a negotiated VLAN tunnel. *)
+
+val assign_address : t -> target:Ids.t -> addr:string -> plen:int -> unit
+(** Assigns an address to an IP module (the paper's DHCP-like exception to
+    protocol agnosticity, §II-E/§III-C). *)
+
+val enforce_rate : t -> owner:Ids.t -> pipe_id:string -> rate_kbps:int -> unit
+(** Performance enforcement (§II-D.1(c)): rate-limit what [owner] sends
+    into [pipe_id]. *)
+
+val remove_rate : t -> owner:Ids.t -> pipe_id:string -> unit
+
+val teardown : t -> Script_gen.script -> unit
+(** Deletes the script's switch rules and pipes, undoing the device state. *)
+
+(** {1 Debugging (§II-D.2)} *)
+
+val self_test : ?against:Ids.t -> t -> Ids.t -> bool * string
+(** Asks one module to self-test; with [against] it probes data-plane
+    connectivity towards that module instead. *)
+
+val diagnose : t -> Path_finder.path -> (Ids.t * bool * string) list
+(** Walks a configured path, self-testing every module: localises faults
+    like a cut wire to the first failing module. *)
+
+val probe_end_to_end : t -> Path_finder.path -> bool * string
+(** Edge-to-edge data-plane probe between the path's customer-edge IP
+    modules; catches silent faults hop-by-hop tests miss. *)
+
+(** {1 Multiple NMs (§V)} *)
+
+val replicate_to : t -> standby:t -> unit
+(** Copies the learnt topology, domain knowledge and active scripts into a
+    warm standby. *)
+
+val take_over : t -> unit
+(** Broadcasts an [Nm_takeover]: every agent redirects its management
+    traffic to this NM. *)
+
+(** {1 Observation} *)
+
+val reset_stats : t -> unit
+val stats_sent : t -> int
+val stats_received : t -> int
+val conveys : t -> (Ids.t * Ids.t * Peer_msg.t) list
+(** The conveyMessage relay log (the figure-3 trace). *)
+
+val completions : t -> (Ids.t * string) list
+val errors : t -> (string * string) list
+val triggers : t -> (Ids.t * string * string) list
+
+val set_auto_repair : t -> bool -> unit
+(** When on, a received trigger re-issues the active scripts (§II-E). *)

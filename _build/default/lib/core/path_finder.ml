@@ -1,0 +1,244 @@
+(* The NM's path finder (§III-C.1): a depth-first traversal of the
+   potential-connectivity graph that tracks encapsulation and
+   decapsulation so only protocol-"sane" paths survive, and prunes paths
+   that would peer IP modules from different address domains (figure 6).
+
+   A path is the sequence of modules customer traffic crosses between the
+   two customer-facing ETH modules of the goal. Customer traffic itself is
+   modelled as two base headers (the customer's Ethernet frame and IP
+   packet): [phy=>up] at the first module pops the base Ethernet header,
+   and the final [up=>phy] at the target restores it. *)
+
+type action = Push | Pop | Inspect
+
+type visit = {
+  v_mod : Ids.t;
+  v_kind : Abstraction.switch_kind;
+  v_action : action;
+  v_chain : int; (* 0 = base ETH, 1 = base (customer) IP, >=2 pushed headers *)
+}
+
+type path = { visits : visit list }
+
+type goal = {
+  g_from : Ids.t; (* customer-facing ETH module at the source site *)
+  g_to : Ids.t;
+  g_customer : string; (* address domain of the customer, e.g. "C1" *)
+  g_src_domain : string; (* e.g. "C1-S1" *)
+  g_dst_domain : string;
+  g_src_site : string; (* e.g. "S1" *)
+  g_dst_site : string;
+  g_tradeoffs : string list;
+  g_scope : string list; (* device ids the NM manages *)
+}
+
+let base_eth = 0
+let base_ip = 1
+
+type entry = From_phy | From_above | From_below
+
+(* a pushed header on the logical stack *)
+type hdr = { h_chain : int; h_proto : string; h_domain : string option }
+
+type dfs_state = {
+  topo : Topology.t;
+  goal : goal;
+  prune_domains : bool;
+  mutable next_chain : int;
+  mutable found : path list;
+}
+
+let in_scope st (m : Ids.t) = List.mem m.Ids.dev st.goal.g_scope
+
+let domain st m = Topology.domain_of st.topo m
+
+(* What the traversal sees as the outermost header. *)
+let logical_top st stack ~eth_missing =
+  match stack with
+  | h :: _ -> Some h
+  | [] ->
+      if eth_missing then Some { h_chain = base_ip; h_proto = "IP"; h_domain = Some st.goal.g_customer }
+      else Some { h_chain = base_eth; h_proto = "ETH"; h_domain = None }
+
+let domain_compatible st m hdr =
+  if (not st.prune_domains) || hdr.h_proto <> "IP" then true
+  else
+    match (hdr.h_domain, domain st m) with
+    | Some a, Some b -> a = b
+    | _ -> false (* IP modules without domain knowledge cannot be placed *)
+
+let rec step st ~pos ~entry ~stack ~eth_missing ~visited ~acc =
+  let abs = Topology.find_module_exn st.topo pos in
+  let visited' = pos :: visited in
+  let emit kind action chain next =
+    let visit = { v_mod = pos; v_kind = kind; v_action = action; v_chain = chain } in
+    next (visit :: acc)
+  in
+  let go_above ~stack ~eth_missing acc =
+    List.iter
+      (fun up ->
+        if (not (List.exists (Ids.equal up) visited')) && in_scope st up then
+          step st ~pos:up ~entry:From_below ~stack ~eth_missing ~visited:visited' ~acc)
+      (Potential_graph.above st.topo pos)
+  in
+  let go_below ~stack ~eth_missing acc =
+    List.iter
+      (fun down ->
+        if (not (List.exists (Ids.equal down) visited')) && in_scope st down then
+          step st ~pos:down ~entry:From_above ~stack ~eth_missing ~visited:visited' ~acc)
+      (Potential_graph.below st.topo pos)
+  in
+  let go_phys ~stack ~eth_missing acc =
+    List.iter
+      (fun (_, remote, _) ->
+        if (not (List.exists (Ids.equal remote) visited')) && in_scope st remote then
+          step st ~pos:remote ~entry:From_phy ~stack ~eth_missing ~visited:visited' ~acc)
+      (Potential_graph.phys_neighbours st.topo pos)
+  in
+  (* goal completion: at the target ETH module, entered from above, with all
+     transit encapsulations undone — push the customer frame back out. *)
+  if
+    Ids.equal pos st.goal.g_to && entry = From_above && stack = [] && eth_missing
+    && Abstraction.can_switch abs Abstraction.Up_phy
+  then begin
+    let visit = { v_mod = pos; v_kind = Abstraction.Up_phy; v_action = Push; v_chain = base_eth } in
+    st.found <- { visits = List.rev (visit :: acc) } :: st.found
+  end
+  else
+    List.iter
+      (fun kind ->
+        match (kind, entry) with
+        | Abstraction.Phy_up, From_phy -> (
+            match stack with
+            | h :: rest when h.h_proto = "ETH" ->
+                emit kind Pop h.h_chain (fun acc -> go_above ~stack:rest ~eth_missing acc)
+            | _ :: _ -> ()
+            | [] ->
+                if not eth_missing then
+                  (* popping the customer's own frame: path entry *)
+                  emit kind Pop base_eth (fun acc -> go_above ~stack ~eth_missing:true acc))
+        | Abstraction.Phy_phy, From_phy -> (
+            match logical_top st stack ~eth_missing with
+            | Some h when h.h_proto = "ETH" ->
+                emit kind Inspect h.h_chain (fun acc -> go_phys ~stack ~eth_missing acc)
+            | _ -> ())
+        | Abstraction.Down_up, From_below -> (
+            match stack with
+            | h :: rest when h.h_proto = abs.Abstraction.name && domain_compatible st pos h ->
+                emit kind Pop h.h_chain (fun acc -> go_above ~stack:rest ~eth_missing acc)
+            | _ -> () (* base headers are never terminated mid-path *))
+        | Abstraction.Down_down, From_below -> (
+            match logical_top st stack ~eth_missing with
+            | Some h when h.h_proto = abs.Abstraction.name && domain_compatible st pos h ->
+                emit kind Inspect h.h_chain (fun acc -> go_below ~stack ~eth_missing acc)
+            | _ -> ())
+        | Abstraction.Up_down, From_above ->
+            st.next_chain <- st.next_chain + 1;
+            let h =
+              { h_chain = st.next_chain; h_proto = abs.Abstraction.name; h_domain = domain st pos }
+            in
+            emit kind Push h.h_chain (fun acc -> go_below ~stack:(h :: stack) ~eth_missing acc)
+        | Abstraction.Up_phy, From_above ->
+            st.next_chain <- st.next_chain + 1;
+            let h = { h_chain = st.next_chain; h_proto = "ETH"; h_domain = None } in
+            emit kind Push h.h_chain (fun acc -> go_phys ~stack:(h :: stack) ~eth_missing acc)
+        | Abstraction.Up_up, _ ->
+            (* loopback switching creates no inter-device paths; skipped *)
+            ()
+        | ( ( Abstraction.Phy_up | Abstraction.Phy_phy | Abstraction.Down_up
+            | Abstraction.Down_down | Abstraction.Up_down | Abstraction.Up_phy ),
+            _ ) ->
+            ())
+      abs.Abstraction.switch
+
+(* [prune_domains:false] disables the figure-6(b) address-domain check —
+   an ablation showing how many protocol-plausible but semantically invalid
+   paths the pruning removes. *)
+let find ?(prune_domains = true) topo goal =
+  let st = { topo; goal; prune_domains; next_chain = base_ip; found = [] } in
+  step st ~pos:goal.g_from ~entry:From_phy ~stack:[] ~eth_missing:false ~visited:[] ~acc:[];
+  List.rev st.found
+
+(* --- hierarchical two-step traversal (§III-C.3) -------------------------------
+
+   The paper's scalability suggestion: "a hierarchical two-step traversal
+   wherein the first step finds paths between devices that have been
+   pre-established using a routing algorithm while the next step finds the
+   complete module-level path given the device-level path". Step one is a
+   BFS over physical connectivity; step two restricts the module-level DFS
+   to the devices on that walk, so its cost no longer depends on the rest
+   of the network. *)
+
+let device_path topo goal =
+  let neighbours dev =
+    match Topology.device topo dev with
+    | Some d ->
+        List.filter_map
+          (fun (_, peer, _) -> if List.mem peer goal.g_scope then Some peer else None)
+          d.Topology.di_links
+        |> List.sort_uniq compare
+    | None -> []
+  in
+  let src = goal.g_from.Ids.dev and dst = goal.g_to.Ids.dev in
+  let rec bfs frontier seen =
+    match frontier with
+    | [] -> None
+    | (dev, acc) :: rest ->
+        if dev = dst then Some (List.rev (dev :: acc))
+        else
+          let next =
+            List.filter (fun p -> not (List.mem p seen)) (neighbours dev)
+            |> List.map (fun p -> (p, dev :: acc))
+          in
+          bfs (rest @ next) (List.map fst next @ seen)
+  in
+  bfs [ (src, []) ] [ src ]
+
+let find_hierarchical ?prune_domains topo goal =
+  match device_path topo goal with
+  | None -> []
+  | Some devices ->
+      (* restrict the module-level search to the chosen device walk *)
+      find ?prune_domains topo { goal with g_scope = devices }
+
+(* The paper's rendering: "a, g, l, h, b, c, i, d, e, j, n, k, f". *)
+let signature path = String.concat ", " (List.map (fun v -> Ids.short v.v_mod) path.visits)
+
+let pp ppf path = Fmt.string ppf (signature path)
+
+(* Counts the up-down pipes a path would instantiate: the chooser's metric
+   ("minimize the total number of pipes instantiated in the routers"). *)
+let pipe_count path =
+  (* one pipe per transition that is not a physical hop, plus the two
+     customer-side pipes at the ends are already transitions... transitions
+     = |visits| - 1; physical hops are transitions out of Up_phy/Phy_phy *)
+  let rec count = function
+    | v :: (_ :: _ as rest) ->
+        (match v.v_kind with
+        | Abstraction.Up_phy | Abstraction.Phy_phy -> 0
+        | _ -> 1)
+        + count rest
+    | _ -> 0
+  in
+  count path.visits
+
+(* Tie-break: paths through modules advertising fast forwarding win. *)
+let fast_modules topo path =
+  List.length
+    (List.filter
+       (fun v -> (Topology.find_module_exn topo v.v_mod).Abstraction.fast_forwarding)
+       path.visits)
+
+let choose topo paths =
+  match paths with
+  | [] -> None
+  | _ ->
+      let best =
+        List.stable_sort
+          (fun a b ->
+            match compare (pipe_count a) (pipe_count b) with
+            | 0 -> compare (fast_modules topo b) (fast_modules topo a)
+            | c -> c)
+          paths
+      in
+      Some (List.hd best)

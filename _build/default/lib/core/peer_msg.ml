@@ -1,0 +1,82 @@
+(* Module-to-module coordination payloads, relayed by the NM through
+   conveyMessage (CONMan §II-D.1). These are opaque to the NM: it forwards
+   them without interpreting protocol-specific content. *)
+
+type t =
+  (* GRE endpoints agreeing on keys, sequence numbers and checksums
+     (figure 3). The initiator proposes; [ikey]/[okey] are from the
+     initiator's perspective. *)
+  | Gre_params of { pipe : string; ikey : int32; okey : int32; use_seq : bool; use_csum : bool }
+  | Gre_params_ack of { pipe : string }
+  (* listFieldsAndValues (§II-E): the requester includes its own values so a
+     single exchange teaches both sides. [purpose] disambiguates exchanges
+     when the same two modules coordinate over several pipes (e.g. on a
+     two-router path the tunnel endpoints are also next-hop neighbours). *)
+  | Lfv_request of { purpose : string; fields : string list; own : (string * string) list }
+  | Lfv_reply of { purpose : string; fields : (string * string) list }
+  (* MPLS downstream label allocation: "use [label] when sending to me for
+     this LSP"; [nexthop] piggybacks the allocator's interface address. *)
+  | Mpls_label_bind of { pipe : string; label : int; nexthop : string }
+  (* VLAN id agreement along a switch chain. *)
+  | Vlan_vid_bind of { pipe : string; vid : int }
+  | Vlan_vid_ack of { pipe : string }
+
+let to_sexp =
+  let a = Sexp.atom in
+  function
+  | Gre_params { pipe; ikey; okey; use_seq; use_csum } ->
+      Sexp.List
+        [
+          a "gre-params"; a pipe;
+          a (Int32.to_string ikey);
+          a (Int32.to_string okey);
+          Sexp.of_bool use_seq;
+          Sexp.of_bool use_csum;
+        ]
+  | Gre_params_ack { pipe } -> Sexp.List [ a "gre-params-ack"; a pipe ]
+  | Lfv_request { purpose; fields; own } ->
+      Sexp.List
+        [
+          a "lfv-request";
+          a purpose;
+          Sexp.List (List.map a fields);
+          Sexp.List (List.map (Sexp.of_pair a a) own);
+        ]
+  | Lfv_reply { purpose; fields } ->
+      Sexp.List [ a "lfv-reply"; a purpose; Sexp.List (List.map (Sexp.of_pair a a) fields) ]
+  | Mpls_label_bind { pipe; label; nexthop } ->
+      Sexp.List [ a "mpls-label-bind"; a pipe; Sexp.of_int label; a nexthop ]
+  | Vlan_vid_bind { pipe; vid } -> Sexp.List [ a "vlan-vid-bind"; a pipe; Sexp.of_int vid ]
+  | Vlan_vid_ack { pipe } -> Sexp.List [ a "vlan-vid-ack"; a pipe ]
+
+let of_sexp =
+  let s = Sexp.to_atom in
+  function
+  | Sexp.List [ Sexp.Atom "gre-params"; pipe; ikey; okey; seq; csum ] ->
+      Gre_params
+        {
+          pipe = s pipe;
+          ikey = Int32.of_string (s ikey);
+          okey = Int32.of_string (s okey);
+          use_seq = Sexp.to_bool seq;
+          use_csum = Sexp.to_bool csum;
+        }
+  | Sexp.List [ Sexp.Atom "gre-params-ack"; pipe ] -> Gre_params_ack { pipe = s pipe }
+  | Sexp.List [ Sexp.Atom "lfv-request"; purpose; Sexp.List fields; Sexp.List own ] ->
+      Lfv_request
+        {
+          purpose = s purpose;
+          fields = List.map s fields;
+          own = List.map (Sexp.to_pair s s) own;
+        }
+  | Sexp.List [ Sexp.Atom "lfv-reply"; purpose; Sexp.List fields ] ->
+      Lfv_reply { purpose = s purpose; fields = List.map (Sexp.to_pair s s) fields }
+  | Sexp.List [ Sexp.Atom "mpls-label-bind"; pipe; label; nexthop ] ->
+      Mpls_label_bind { pipe = s pipe; label = Sexp.to_int label; nexthop = s nexthop }
+  | Sexp.List [ Sexp.Atom "vlan-vid-bind"; pipe; vid ] ->
+      Vlan_vid_bind { pipe = s pipe; vid = Sexp.to_int vid }
+  | Sexp.List [ Sexp.Atom "vlan-vid-ack"; pipe ] -> Vlan_vid_ack { pipe = s pipe }
+  | _ -> raise (Sexp.Parse_error "peer_msg")
+
+let equal a b = to_sexp a = to_sexp b
+let pp ppf t = Sexp.pp ppf (to_sexp t)

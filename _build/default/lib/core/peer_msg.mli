@@ -1,0 +1,25 @@
+(** Module-to-module coordination payloads, relayed by the NM through
+    conveyMessage (§II-D.1). Opaque to the NM: it forwards them without
+    interpreting protocol-specific content. *)
+
+type t =
+  | Gre_params of { pipe : string; ikey : int32; okey : int32; use_seq : bool; use_csum : bool }
+      (** GRE endpoints agreeing on keys/sequencing/checksums (figure 3);
+          the initiator proposes, fields from its perspective *)
+  | Gre_params_ack of { pipe : string }
+  | Lfv_request of { purpose : string; fields : string list; own : (string * string) list }
+      (** listFieldsAndValues (§II-E). The requester includes its own values
+          so one exchange teaches both sides; [purpose] ("endpoint",
+          "nexthop", "filter", "probe") disambiguates exchanges between the
+          same two modules. *)
+  | Lfv_reply of { purpose : string; fields : (string * string) list }
+  | Mpls_label_bind of { pipe : string; label : int; nexthop : string }
+      (** downstream label allocation: "use [label] when sending to me";
+          [nexthop] piggybacks the allocator's interface address *)
+  | Vlan_vid_bind of { pipe : string; vid : int }
+  | Vlan_vid_ack of { pipe : string }
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

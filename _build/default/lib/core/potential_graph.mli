@@ -1,0 +1,19 @@
+(** The potential-connectivity graph (§III-C.1, figure 5): which up-down
+    pipes could exist between the modules of each device, and which
+    physical pipes connect ETH modules across devices — derived purely from
+    the abstractions returned by showPotential. *)
+
+val connectable : Abstraction.t -> Abstraction.t -> bool
+(** [connectable top bottom]: could [top] have a down pipe to [bottom]? *)
+
+val below : Topology.t -> Ids.t -> Ids.t list
+(** Same-device modules [m] could sit above. *)
+
+val above : Topology.t -> Ids.t -> Ids.t list
+
+val phys_neighbours : Topology.t -> Ids.t -> (string * Ids.t * string) list
+(** [(local phys pipe id, remote ETH module, remote phys pipe id)] per
+    wired port of an ETH module. *)
+
+val pp_device : Format.formatter -> Topology.t * string -> unit
+(** Renders one device's sub-graph the way figure 5 draws device A's. *)

@@ -1,0 +1,94 @@
+(** Ready-made CONMan deployments of the paper's experimental set-ups:
+    netsim testbed + management channel + agents + protocol modules + NM,
+    already discovered (Hello + showPotential) and primed with the NM's
+    address-domain knowledge. *)
+
+val nm_station_id : string
+(** Device id the (primary) NM subscribes under. *)
+
+type channel_kind = [ `Oob | `Raw ]
+(** Pre-configured out-of-band channel, or the 4D-style raw in-band
+    flooding channel (§III-A). *)
+
+(** {1 Figure 4: the VPN testbed} *)
+
+type vpn = {
+  tb : Netsim.Testbeds.vpn;
+  chan : Mgmt.Channel.t;
+  nm : Nm.t;
+  goal : Path_finder.goal; (** "connect S1 and S2 of customer C1" *)
+  scope : string list;
+  agents : (string * Agent.t) list; (** device name -> agent *)
+  ip_handles : (string * Ip_module.handle) list; (** module id -> handle *)
+}
+
+val build_vpn : ?channel:channel_kind -> ?secure:bool -> ?tradeoffs:string list -> unit -> vpn
+(** [secure:true] additionally registers the figure-1 IPsec pair on the
+    edge routers: ESP data modules whose "esp-keys" dependency is satisfied
+    by IKE control modules (§II-F). *)
+
+val vpn_goal : ?tradeoffs:string list -> unit -> Path_finder.goal
+
+val vpn_reachable : vpn -> bool
+(** Bidirectional ICMP reachability between the customer hosts. *)
+
+(** {1 n-router chains (the Table-VI sweep)} *)
+
+type chain = {
+  ctb : Netsim.Testbeds.chain;
+  cchan : Mgmt.Channel.t;
+  cnm : Nm.t;
+  cgoal : Path_finder.goal;
+  cscope : string list;
+}
+
+val build_chain :
+  ?channel:channel_kind -> ?addressed:bool -> ?tradeoffs:string list -> int -> chain
+(** [addressed:false] leaves the ISP routers without addresses: the NM is
+    expected to assign them via {!Nm.assign_address}. *)
+
+val chain_reachable : chain -> bool
+
+(** {1 Diamond: two parallel cores (multi-route experiments)} *)
+
+type diamond = {
+  dtb : Netsim.Testbeds.diamond;
+  dchan : Mgmt.Channel.t;
+  dnm : Nm.t;
+  dgoal : Path_finder.goal;
+  dscope : string list;
+}
+
+val build_diamond : ?channel:channel_kind -> unit -> diamond
+val diamond_reachable : diamond -> bool
+
+(** {1 Path classification helpers} *)
+
+val path_uses : string -> Path_finder.path -> bool
+val pure_gre : Path_finder.path -> bool
+val pure_mpls : Path_finder.path -> bool
+val pure_ipip : Path_finder.path -> bool
+val secure : Path_finder.path -> bool
+
+(** {1 Figure 9: VLAN switch chains} *)
+
+type vlan = {
+  vtb : Netsim.Testbeds.vlan;
+  vchan : Mgmt.Channel.t;
+  vnm : Nm.t;
+  vscope : string list;
+  vagents : (string * Agent.t) list;
+}
+
+val build_vlan : ?channel:channel_kind -> unit -> vlan
+val vlan_reachable : vlan -> bool
+
+type vlan_chain = {
+  vctb : Netsim.Testbeds.vlan_chain;
+  vcchan : Mgmt.Channel.t;
+  vcnm : Nm.t;
+  vcscope : string list;
+}
+
+val build_vlan_chain : ?channel:channel_kind -> int -> vlan_chain
+val vlan_chain_reachable : vlan_chain -> bool

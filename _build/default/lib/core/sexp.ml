@@ -1,0 +1,154 @@
+(* A minimal s-expression codec used as the wire format of the management
+   channel. Atoms are quoted only when needed, so encoded messages stay
+   human-readable in traces. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let atom s = Atom s
+let list l = List l
+
+let needs_quoting s =
+  s = ""
+  || String.exists (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\\') s
+
+let rec to_buf buf = function
+  | Atom s ->
+      if needs_quoting s then begin
+        Buffer.add_char buf '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' | '\\' ->
+                Buffer.add_char buf '\\';
+                Buffer.add_char buf c
+            | '\n' -> Buffer.add_string buf "\\n"
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.add_char buf '"'
+      end
+      else Buffer.add_string buf s
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          to_buf buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  to_buf buf t;
+  Buffer.contents buf
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t') do advance () done
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end"
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' -> advance ()
+          | None -> fail "unclosed list"
+          | Some _ ->
+              items := parse () :: !items;
+              loop ()
+        in
+        loop ();
+        List (List.rev !items)
+    | Some ')' -> fail "unexpected )"
+    | Some '"' ->
+        advance ();
+        let buf = Buffer.create 16 in
+        let rec loop () =
+          match peek () with
+          | None -> fail "unclosed string"
+          | Some '"' -> advance ()
+          | Some '\\' ->
+              advance ();
+              (match peek () with
+              | Some 'n' -> Buffer.add_char buf '\n'
+              | Some c -> Buffer.add_char buf c
+              | None -> fail "bad escape");
+              advance ();
+              loop ()
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ();
+              loop ()
+        in
+        loop ();
+        Atom (Buffer.contents buf)
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && not (s.[!pos] = ' ' || s.[!pos] = '(' || s.[!pos] = ')' || s.[!pos] = '\n')
+        do
+          advance ()
+        done;
+        Atom (String.sub s start (!pos - start))
+  in
+  let t = parse () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  t
+
+(* --- combinators for conversions ---------------------------------------- *)
+
+let of_int i = Atom (string_of_int i)
+
+let to_int = function
+  | Atom s -> ( try int_of_string s with Failure _ -> raise (Parse_error ("not an int: " ^ s)))
+  | List _ -> raise (Parse_error "expected int atom")
+
+let of_bool b = Atom (if b then "true" else "false")
+
+let to_bool = function
+  | Atom "true" -> true
+  | Atom "false" -> false
+  | _ -> raise (Parse_error "expected bool")
+
+let to_atom = function
+  | Atom s -> s
+  | List _ -> raise (Parse_error "expected atom")
+
+let to_list = function
+  | List l -> l
+  | Atom _ -> raise (Parse_error "expected list")
+
+let of_option f = function None -> List [] | Some x -> List [ f x ]
+
+let to_option f = function
+  | List [] -> None
+  | List [ x ] -> Some (f x)
+  | _ -> raise (Parse_error "expected option")
+
+let of_pair f g (a, b) = List [ f a; g b ]
+
+let to_pair f g = function
+  | List [ a; b ] -> (f a, g b)
+  | _ -> raise (Parse_error "expected pair")
+
+let of_mref (m : Ids.t) = List [ Atom m.Ids.name; Atom m.Ids.mid; Atom m.Ids.dev ]
+
+let to_mref = function
+  | List [ Atom name; Atom mid; Atom dev ] -> Ids.v name mid dev
+  | _ -> raise (Parse_error "expected module ref")
+
+let equal = ( = )
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,29 @@
+(** A minimal s-expression codec used as the wire format of the management
+    channel. Atoms are quoted only when needed, so encoded messages stay
+    human-readable in traces. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val atom : string -> t
+val list : t list -> t
+val to_string : t -> string
+val of_string : string -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+(** {1 Conversion combinators} *)
+
+val of_int : int -> t
+val to_int : t -> int
+val of_bool : bool -> t
+val to_bool : t -> bool
+val to_atom : t -> string
+val to_list : t -> t list
+val of_option : ('a -> t) -> 'a option -> t
+val to_option : (t -> 'a) -> t -> 'a option
+val of_pair : ('a -> t) -> ('b -> t) -> 'a * 'b -> t
+val to_pair : (t -> 'a) -> (t -> 'b) -> t -> 'a * 'b
+val of_mref : Ids.t -> t
+val to_mref : t -> Ids.t

@@ -1,0 +1,164 @@
+(* Messages exchanged between the NM and the management agents over the
+   management channel, and their byte encoding. *)
+
+type annex = {
+  (* NM knowledge shipped alongside a script bundle: address-domain
+     resolutions and role hints. This mirrors the paper's §III-C admission
+     that the NM explicitly knows IP addresses and domains; it is not part
+     of the counted CONMan script. *)
+  domains : (string * string) list; (* domain name -> prefix *)
+  reporter : Ids.t option; (* module that reports path completion *)
+}
+
+let empty_annex = { domains = []; reporter = None }
+
+type t =
+  (* device -> NM: physical connectivity announcement *)
+  | Hello of { ports : (string * string * string) list (* port, peer dev, peer port *) }
+  (* NM -> device *)
+  | Show_potential_req of { req : int }
+  | Show_actual_req of { req : int }
+  | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
+  | Nm_takeover of { nm : string } (* a standby NM announces it is now primary *)
+  (* explicit address assignment by the NM (§II-E: the one task the paper
+     keeps protocol-specific and centralised, like a DHCP server) *)
+  | Set_address of { target : Ids.t; addr : string; plen : int }
+  | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
+  (* device -> NM *)
+  | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
+  | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  | Bundle_err of { req : int; error : string }
+  | Self_test_resp of { req : int; target : Ids.t; ok : bool; detail : string }
+  | Completion of { src : Ids.t; what : string }
+  | Trigger of { src : Ids.t; field : string; value : string }
+  (* module -> NM -> module *)
+  | Convey of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
+
+let annex_to_sexp a =
+  Sexp.List
+    [
+      Sexp.List (List.map (Sexp.of_pair Sexp.atom Sexp.atom) a.domains);
+      Sexp.of_option Sexp.of_mref a.reporter;
+    ]
+
+let annex_of_sexp = function
+  | Sexp.List [ Sexp.List d; r ] ->
+      {
+        domains = List.map (Sexp.to_pair Sexp.to_atom Sexp.to_atom) d;
+        reporter = Sexp.to_option Sexp.to_mref r;
+      }
+  | _ -> raise (Sexp.Parse_error "annex")
+
+let to_sexp =
+  let a = Sexp.atom in
+  function
+  | Hello { ports } ->
+      Sexp.List
+        [
+          a "hello";
+          Sexp.List
+            (List.map (fun (p, d, pp) -> Sexp.List [ a p; a d; a pp ]) ports);
+        ]
+  | Show_potential_req { req } -> Sexp.List [ a "show-potential"; Sexp.of_int req ]
+  | Show_actual_req { req } -> Sexp.List [ a "show-actual"; Sexp.of_int req ]
+  | Bundle { req; cmds; annex } ->
+      Sexp.List
+        [ a "bundle"; Sexp.of_int req; Sexp.List (List.map Primitive.to_sexp cmds); annex_to_sexp annex ]
+  | Nm_takeover { nm } -> Sexp.List [ a "nm-takeover"; a nm ]
+  | Set_address { target; addr; plen } ->
+      Sexp.List [ a "set-address"; Sexp.of_mref target; a addr; Sexp.of_int plen ]
+  | Self_test_req { req; target; against } ->
+      Sexp.List
+        [ a "self-test"; Sexp.of_int req; Sexp.of_mref target; Sexp.of_option Sexp.of_mref against ]
+  | Show_potential_resp { req; modules } ->
+      Sexp.List
+        [
+          a "potential";
+          Sexp.of_int req;
+          Sexp.List (List.map (fun (m, ab) -> Sexp.List [ Sexp.of_mref m; Abstraction.to_sexp ab ]) modules);
+        ]
+  | Show_actual_resp { req; state } ->
+      Sexp.List
+        [
+          a "actual";
+          Sexp.of_int req;
+          Sexp.List
+            (List.map
+               (fun (m, kvs) ->
+                 Sexp.List
+                   [ Sexp.of_mref m; Sexp.List (List.map (Sexp.of_pair a a) kvs) ])
+               state);
+        ]
+  | Bundle_err { req; error } -> Sexp.List [ a "bundle-err"; Sexp.of_int req; a error ]
+  | Self_test_resp { req; target; ok; detail } ->
+      Sexp.List [ a "self-test-resp"; Sexp.of_int req; Sexp.of_mref target; Sexp.of_bool ok; a detail ]
+  | Completion { src; what } -> Sexp.List [ a "completion"; Sexp.of_mref src; a what ]
+  | Trigger { src; field; value } -> Sexp.List [ a "trigger"; Sexp.of_mref src; a field; a value ]
+  | Convey { src; dst; payload } ->
+      Sexp.List [ a "convey"; Sexp.of_mref src; Sexp.of_mref dst; Peer_msg.to_sexp payload ]
+
+let of_sexp sexp =
+  let s = Sexp.to_atom in
+  match sexp with
+  | Sexp.List [ Sexp.Atom "hello"; Sexp.List ports ] ->
+      Hello
+        {
+          ports =
+            List.map
+              (function
+                | Sexp.List [ p; d; pp ] -> (s p, s d, s pp)
+                | _ -> raise (Sexp.Parse_error "hello port"))
+              ports;
+        }
+  | Sexp.List [ Sexp.Atom "show-potential"; req ] -> Show_potential_req { req = Sexp.to_int req }
+  | Sexp.List [ Sexp.Atom "show-actual"; req ] -> Show_actual_req { req = Sexp.to_int req }
+  | Sexp.List [ Sexp.Atom "bundle"; req; Sexp.List cmds; annex ] ->
+      Bundle
+        { req = Sexp.to_int req; cmds = List.map Primitive.of_sexp cmds; annex = annex_of_sexp annex }
+  | Sexp.List [ Sexp.Atom "nm-takeover"; nm ] -> Nm_takeover { nm = s nm }
+  | Sexp.List [ Sexp.Atom "set-address"; t; addr; plen ] ->
+      Set_address { target = Sexp.to_mref t; addr = s addr; plen = Sexp.to_int plen }
+  | Sexp.List [ Sexp.Atom "self-test"; req; t; against ] ->
+      Self_test_req
+        { req = Sexp.to_int req; target = Sexp.to_mref t; against = Sexp.to_option Sexp.to_mref against }
+  | Sexp.List [ Sexp.Atom "potential"; req; Sexp.List mods ] ->
+      Show_potential_resp
+        {
+          req = Sexp.to_int req;
+          modules =
+            List.map
+              (function
+                | Sexp.List [ m; ab ] -> (Sexp.to_mref m, Abstraction.of_sexp ab)
+                | _ -> raise (Sexp.Parse_error "potential module"))
+              mods;
+        }
+  | Sexp.List [ Sexp.Atom "actual"; req; Sexp.List mods ] ->
+      Show_actual_resp
+        {
+          req = Sexp.to_int req;
+          state =
+            List.map
+              (function
+                | Sexp.List [ m; Sexp.List kvs ] ->
+                    (Sexp.to_mref m, List.map (Sexp.to_pair s s) kvs)
+                | _ -> raise (Sexp.Parse_error "actual module"))
+              mods;
+        }
+  | Sexp.List [ Sexp.Atom "bundle-err"; req; e ] ->
+      Bundle_err { req = Sexp.to_int req; error = s e }
+  | Sexp.List [ Sexp.Atom "self-test-resp"; req; t; ok; d ] ->
+      Self_test_resp
+        { req = Sexp.to_int req; target = Sexp.to_mref t; ok = Sexp.to_bool ok; detail = s d }
+  | Sexp.List [ Sexp.Atom "completion"; src; what ] ->
+      Completion { src = Sexp.to_mref src; what = s what }
+  | Sexp.List [ Sexp.Atom "trigger"; src; f; v ] ->
+      Trigger { src = Sexp.to_mref src; field = s f; value = s v }
+  | Sexp.List [ Sexp.Atom "convey"; src; dst; p ] ->
+      Convey { src = Sexp.to_mref src; dst = Sexp.to_mref dst; payload = Peer_msg.of_sexp p }
+  | _ -> raise (Sexp.Parse_error "wire message")
+
+let encode t = Bytes.of_string (Sexp.to_string (to_sexp t))
+let decode b = of_sexp (Sexp.of_string (Bytes.to_string b))
+
+let equal a b = to_sexp a = to_sexp b
+let pp ppf t = Sexp.pp ppf (to_sexp t)

@@ -1,0 +1,45 @@
+(** Messages exchanged between the NM and the management agents over the
+    management channel, and their byte encoding (s-expressions over
+    {!Mgmt.Frame} payloads). *)
+
+(** NM knowledge shipped alongside a script bundle: address-domain
+    resolutions and role hints — the paper's §III-C admission that the NM
+    explicitly knows IP addresses and domains. Not part of the counted
+    CONMan script. *)
+type annex = {
+  domains : (string * string) list; (** domain name -> prefix *)
+  reporter : Ids.t option; (** module that reports path completion *)
+}
+
+val empty_annex : annex
+
+type t =
+  | Hello of { ports : (string * string * string) list }
+      (** device -> NM: physical connectivity (port, peer device, peer port) *)
+  | Show_potential_req of { req : int }
+  | Show_actual_req of { req : int }
+  | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
+      (** NM -> device: a CONMan script slice *)
+  | Nm_takeover of { nm : string } (** a standby NM announces it is primary (§V) *)
+  | Set_address of { target : Ids.t; addr : string; plen : int }
+      (** NM-assigned address (§II-E's DHCP-like exception) *)
+  | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
+  | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
+  | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  | Bundle_err of { req : int; error : string }
+  | Self_test_resp of { req : int; target : Ids.t; ok : bool; detail : string }
+  | Completion of { src : Ids.t; what : string }
+      (** e.g. the far-edge MPLS module reporting "lsp-established" *)
+  | Trigger of { src : Ids.t; field : string; value : string }
+      (** a low-level value changed: dependency maintenance (§II-E) *)
+  | Convey of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
+      (** module -> NM -> module: conveyMessage relay *)
+
+val annex_to_sexp : annex -> Sexp.t
+val annex_of_sexp : Sexp.t -> annex
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+val encode : t -> bytes
+val decode : bytes -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

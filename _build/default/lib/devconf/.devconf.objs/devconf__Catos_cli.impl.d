@@ -1,0 +1,1 @@
+lib/devconf/catos_cli.ml: Device Fmt List Netsim String

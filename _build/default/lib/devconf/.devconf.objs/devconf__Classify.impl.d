@@ -1,0 +1,1 @@
+lib/devconf/classify.ml: Linux_cli List Shell String

@@ -1,0 +1,1 @@
+lib/devconf/classify.mli:

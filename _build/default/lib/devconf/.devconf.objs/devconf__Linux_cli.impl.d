@@ -1,0 +1,1 @@
+lib/devconf/linux_cli.ml: Device Filename Fmt Int32 Ipv4_addr List Netsim Option Packet Prefix Printf Shell String

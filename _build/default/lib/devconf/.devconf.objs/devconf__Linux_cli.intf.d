@@ -1,0 +1,1 @@
+lib/devconf/linux_cli.mli: Netsim Shell

@@ -1,0 +1,1 @@
+lib/devconf/metrics.ml: Classify Fmt List Set String

@@ -1,0 +1,1 @@
+lib/devconf/metrics.mli: Classify Fmt

@@ -1,0 +1,1 @@
+lib/devconf/paper_scripts.ml:

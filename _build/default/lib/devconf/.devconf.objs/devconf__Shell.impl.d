@@ -1,0 +1,1 @@
+lib/devconf/shell.ml: Buffer Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/devconf/shell.mli: Hashtbl

@@ -1,0 +1,101 @@
+(* A CatOS/IOS-flavoured CLI for the VLAN-tunnelling configuration of
+   figure 9(a). Stateful: `interface X` enters a context that subsequent
+   switchport commands apply to, `exit`/`end` leave it. *)
+
+open Netsim
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type t = {
+  dev : Device.t;
+  mutable current_port : Device.port option;
+  (* switchport state is combined: `switchport access vlan V` names the
+     vlan, `switchport mode ...` decides how the port uses it. *)
+  mutable pending_access_vlan : (int * int) list; (* port index -> vid *)
+}
+
+let create dev = { dev; current_port = None; pending_access_vlan = [] }
+
+let find_port t name =
+  match Device.port_by_name t.dev name with
+  | Some p -> p
+  | None -> fail "no such interface %s" name
+
+let access_vid t (p : Device.port) =
+  match List.assoc_opt p.Device.port_index t.pending_access_vlan with
+  | Some v -> v
+  | None -> (
+      match p.Device.port_mode with
+      | Device.Access v | Device.Dot1q_tunnel v -> v
+      | Device.No_vlan | Device.Trunk _ -> 1)
+
+let set_access_vid t (p : Device.port) vid =
+  t.pending_access_vlan <-
+    (p.Device.port_index, vid) :: List.remove_assoc p.Device.port_index t.pending_access_vlan
+
+let in_context t =
+  match t.current_port with Some p -> p | None -> fail "not in interface context"
+
+let tokenize line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let exec t argv =
+  match argv with
+  | [] -> ()
+  | "set" :: "vlan" :: vid :: rest -> (
+      let vid = int_of_string vid in
+      let def = Device.vlan_def t.dev vid in
+      match rest with
+      | "name" :: name :: more ->
+          def.Device.vd_name <- name;
+          (match more with
+          | [ "mtu"; m ] -> def.Device.vd_mtu <- int_of_string m
+          | [] -> ()
+          | _ -> fail "set vlan: unsupported options")
+      | [ "mtu"; m ] -> def.Device.vd_mtu <- int_of_string m
+      | [ port_name ] -> (
+          (* Adds the port to the VLAN; inter-switch ports become trunks
+             carrying the tag. *)
+          let p = find_port t port_name in
+          match p.Device.port_mode with
+          | Device.Trunk tr ->
+              if not (List.mem vid tr.Device.allowed) then
+                tr.Device.allowed <- vid :: tr.Device.allowed
+          | Device.No_vlan ->
+              p.Device.port_mode <- Device.Trunk { allowed = [ vid ]; native = None }
+          | Device.Access _ | Device.Dot1q_tunnel _ ->
+              fail "set vlan: %s is an access/tunnel port" port_name)
+      | _ -> fail "set vlan: unsupported syntax")
+  | [ "interface"; name ] -> t.current_port <- Some (find_port t name)
+  | [ "switchport"; "access"; "vlan"; vid ] ->
+      let p = in_context t in
+      let vid = int_of_string vid in
+      set_access_vid t p vid;
+      (* Access mode unless/until a tunnel mode is configured. *)
+      (match p.Device.port_mode with
+      | Device.Dot1q_tunnel _ -> p.Device.port_mode <- Device.Dot1q_tunnel vid
+      | Device.No_vlan | Device.Access _ | Device.Trunk _ ->
+          p.Device.port_mode <- Device.Access vid)
+  | [ "switchport"; "mode"; "dot1q-tunnel" ] ->
+      let p = in_context t in
+      p.Device.port_mode <- Device.Dot1q_tunnel (access_vid t p)
+  | [ "switchport"; "mode"; "access" ] ->
+      let p = in_context t in
+      p.Device.port_mode <- Device.Access (access_vid t p)
+  | [ "switchport"; "mode"; "trunk" ] ->
+      let p = in_context t in
+      p.Device.port_mode <- Device.Trunk { allowed = []; native = None }
+  | [ "exit" ] -> t.current_port <- None
+  | [ "end" ] -> t.current_port <- None
+  | [ "vlan"; "dot1q"; "tag"; "native" ] -> t.dev.Device.sw.Device.tag_native <- true
+  | cmd :: _ -> fail "unknown command %s" cmd
+
+let run_line t line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' || line.[0] = '!' then () else exec t (tokenize line)
+
+let run_script dev script =
+  let t = create dev in
+  List.iter (run_line t) (String.split_on_char '\n' script);
+  t

@@ -1,0 +1,12 @@
+(** A CatOS/IOS-flavoured CLI for the VLAN-tunnelling configuration of
+    figure 9(a). Stateful: [interface X] enters a context that subsequent
+    switchport commands apply to; [exit]/[end] leave it. *)
+
+exception Error of string
+
+type t
+
+val create : Netsim.Device.t -> t
+val exec : t -> string list -> unit
+val run_line : t -> string -> unit
+val run_script : Netsim.Device.t -> string -> t

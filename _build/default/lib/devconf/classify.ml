@@ -1,0 +1,205 @@
+(* Classification of configuration commands and state variables as generic
+   (protocol-independent plumbing: identifiers, addresses, interface and
+   table names) or protocol-specific (keys, modes, labels, VLAN ids, sysctl
+   knobs). This re-derives, mechanically, the hand colour-coding behind the
+   paper's Table V. *)
+
+type klass = Generic | Specific
+
+type line_analysis = {
+  cmd_form : string; (* canonical command form, e.g. "ip route add" *)
+  cmd_class : klass;
+  vars : (string * klass) list; (* state variables appearing on the line *)
+}
+
+let tokenize line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let find_value opts key =
+  let rec go = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go opts
+
+let opt_var klass opts key =
+  match find_value opts key with Some v -> [ (v, klass) ] | None -> []
+
+let flag_var opts flag = if List.mem flag opts then [ (flag, Specific) ] else []
+
+(* Strips a leading shell assignment (`VAR=\`cmd ...\``), remembering the
+   variable so uses elsewhere count as protocol-specific state. *)
+let strip_assignment line =
+  match Shell.parse_assignment (String.trim line) with
+  | Some (name, pipeline) ->
+      let cmd = match String.split_on_char '|' pipeline with c :: _ -> c | [] -> "" in
+      (Some name, String.trim cmd)
+  | None -> (None, String.trim line)
+
+exception Unrecognized of string
+
+let analyze_linux_tokens tokens =
+  match tokens with
+  | [ "insmod"; path ] ->
+      { cmd_form = "insmod"; cmd_class = Generic; vars = [ (Linux_cli.module_of_path path, Specific) ] }
+  | [ "modprobe"; name ] ->
+      { cmd_form = "modprobe"; cmd_class = Generic; vars = [ (name, Specific) ] }
+  | "ip" :: "tunnel" :: "add" :: rest ->
+      let name =
+        match find_value rest "name" with
+        | Some n -> [ (n, Specific) ]
+        | None -> ( match rest with n :: _ when n <> "mode" -> [ (n, Specific) ] | _ -> [])
+      in
+      {
+        cmd_form = "ip tunnel add";
+        cmd_class = Specific;
+        vars =
+          name
+          @ opt_var Specific rest "mode"
+          @ opt_var Generic rest "remote"
+          @ opt_var Generic rest "local"
+          @ opt_var Specific rest "ikey"
+          @ opt_var Specific rest "okey"
+          @ opt_var Specific rest "key"
+          @ opt_var Specific rest "ienc"
+          @ opt_var Specific rest "oenc"
+          @ opt_var Specific rest "ttl"
+          @ flag_var rest "icsum" @ flag_var rest "ocsum" @ flag_var rest "iseq"
+          @ flag_var rest "oseq";
+      }
+  | "ifconfig" :: iface :: rest ->
+      {
+        cmd_form = "ifconfig";
+        cmd_class = Specific;
+        vars = (iface, Generic) :: List.map (fun a -> (a, Generic)) rest;
+      }
+  | "echo" :: rest when List.mem ">" rest || List.mem ">>" rest -> (
+      let target = List.nth rest (List.length rest - 1) in
+      match target with
+      | "/proc/sys/net/ipv4/ip_forward" ->
+          { cmd_form = "echo >/proc"; cmd_class = Specific; vars = [ ("ip_forward", Specific) ] }
+      | "/etc/iproute2/rt_tables" ->
+          let vars =
+            match rest with
+            | num :: name :: _ -> [ (num, Specific); (name, Generic) ]
+            | _ -> []
+          in
+          { cmd_form = "echo >>rt_tables"; cmd_class = Specific; vars }
+      | t -> raise (Unrecognized ("echo target " ^ t)))
+  | "ip" :: "rule" :: "add" :: rest ->
+      {
+        cmd_form = "ip rule add";
+        cmd_class = Specific;
+        vars =
+          opt_var Generic rest "to" @ opt_var Generic rest "iif" @ opt_var Generic rest "iff"
+          @ opt_var Generic rest "table";
+      }
+  | "ip" :: "route" :: "add" :: rest ->
+      let rest = match rest with "to" :: r -> r | r -> r in
+      let dst = match rest with d :: _ when d <> "default" -> [ (d, Generic) ] | _ -> [] in
+      {
+        cmd_form = "ip route add";
+        cmd_class = Specific;
+        vars =
+          dst
+          @ opt_var Generic rest "via"
+          @ opt_var Generic rest "dev"
+          @ opt_var Generic rest "table"
+          @ opt_var Specific rest "mpls";
+      }
+  | [ "mpls"; "labelspace"; "set"; "dev"; iface; "labelspace"; n ] ->
+      {
+        cmd_form = "mpls labelspace set";
+        cmd_class = Specific;
+        vars = [ (iface, Generic); ("labelspace-" ^ n, Specific) ];
+      }
+  | [ "mpls"; "ilm"; "add"; "label"; "gen"; l; "labelspace"; n ] ->
+      {
+        cmd_form = "mpls ilm add";
+        cmd_class = Specific;
+        vars = [ (l, Specific); ("labelspace-" ^ n, Specific) ];
+      }
+  | "mpls" :: "nhlfe" :: "add" :: rest ->
+      let push =
+        let rec go = function
+          | "push" :: "gen" :: l :: _ -> [ (l, Specific) ]
+          | _ :: r -> go r
+          | [] -> []
+        in
+        go rest
+      in
+      let nexthop =
+        let rec go = function
+          | "nexthop" :: iface :: "ipv4" :: addr :: _ -> [ (iface, Generic); (addr, Generic) ]
+          | _ :: r -> go r
+          | [] -> []
+        in
+        go rest
+      in
+      {
+        cmd_form = "mpls nhlfe add";
+        cmd_class = Specific;
+        vars = opt_var Generic rest "mtu" @ push @ nexthop;
+      }
+  | "mpls" :: "xc" :: "add" :: rest ->
+      {
+        cmd_form = "mpls xc add";
+        cmd_class = Specific;
+        vars =
+          (match find_value rest "gen" with Some l -> [ (l, Specific) ] | None -> [])
+          @ (match find_value rest "labelspace" with
+            | Some n -> [ ("labelspace-" ^ n, Specific) ]
+            | None -> [])
+          @ opt_var Specific rest "key";
+      }
+  | toks -> raise (Unrecognized (String.concat " " toks))
+
+let analyze_catos_tokens tokens =
+  match tokens with
+  | "set" :: "vlan" :: vid :: rest ->
+      let vars = ref [ (vid, Specific) ] in
+      (match find_value ("vlan" :: rest) "name" with
+      | Some n -> vars := (n, Specific) :: !vars
+      | None -> ());
+      (match find_value ("vlan" :: rest) "mtu" with
+      | Some m -> vars := (m, Generic) :: !vars
+      | None -> ());
+      (match rest with
+      | [ port ] -> vars := (port, Generic) :: !vars
+      | _ -> ());
+      { cmd_form = "set vlan"; cmd_class = Specific; vars = List.rev !vars }
+  | [ "interface"; port ] ->
+      { cmd_form = "interface"; cmd_class = Generic; vars = [ (port, Generic) ] }
+  | [ "switchport"; "access"; "vlan"; vid ] ->
+      { cmd_form = "switchport access vlan"; cmd_class = Specific; vars = [ (vid, Specific) ] }
+  | [ "switchport"; "mode"; mode ] ->
+      { cmd_form = "switchport mode"; cmd_class = Specific; vars = [ (mode, Specific) ] }
+  | [ "exit" ] -> { cmd_form = "exit"; cmd_class = Generic; vars = [] }
+  | [ "end" ] -> { cmd_form = "end"; cmd_class = Generic; vars = [] }
+  | [ "vlan"; "dot1q"; "tag"; "native" ] ->
+      {
+        cmd_form = "vlan dot1q tag native";
+        cmd_class = Specific;
+        vars = [ ("dot1q-native", Specific) ];
+      }
+  | toks -> raise (Unrecognized (String.concat " " toks))
+
+(* Shell variables like $KEY-S1-S2 carry NHLFE keys: protocol state. *)
+let shell_var_uses line =
+  let toks = tokenize line in
+  List.filter_map (fun t -> if String.length t > 1 && t.[0] = '$' then Some (t, Specific) else None) toks
+
+let analyze_line ~dialect line =
+  let assigned, cmd = strip_assignment line in
+  if cmd = "" || cmd.[0] = '#' || cmd.[0] = '!' then None
+  else
+    let base =
+      match dialect with
+      | `Linux -> analyze_linux_tokens (tokenize cmd)
+      | `Catos -> analyze_catos_tokens (tokenize cmd)
+    in
+    let extra = shell_var_uses cmd in
+    let assigned_var =
+      match assigned with Some v -> [ ("$" ^ v, Specific) ] | None -> []
+    in
+    Some { base with vars = base.vars @ extra @ assigned_var }

@@ -1,0 +1,21 @@
+(** Classification of configuration commands and state variables as
+    generic (protocol-independent plumbing: identifiers, addresses,
+    interface and table names) or protocol-specific (keys, modes, labels,
+    VLAN ids, sysctl knobs) — the mechanical re-derivation of the hand
+    colour-coding behind the paper's Table V. The exact ruleset is
+    documented in DESIGN.md. *)
+
+type klass = Generic | Specific
+
+type line_analysis = {
+  cmd_form : string; (** canonical command form, e.g. "ip route add" *)
+  cmd_class : klass;
+  vars : (string * klass) list;
+}
+
+exception Unrecognized of string
+
+val analyze_line : dialect:[ `Linux | `Catos ] -> string -> line_analysis option
+(** [None] for blank/comment lines; raises {!Unrecognized} on commands the
+    ruleset does not know (so new script constructs fail loudly rather
+    than skewing the counts). *)

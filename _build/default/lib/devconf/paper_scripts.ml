@@ -1,0 +1,134 @@
+(* The device-level configuration scripts of the paper. [gre_a] is figure
+   7(a) verbatim (modulo line wrapping); [mpls_a] is figure 8(a) verbatim;
+   [vlan_a] is figure 9(a) verbatim. The B/C-side scripts are not shown in
+   the paper and are reconstructed here in the same dialect, mirroring the
+   A-side choices (keys, labels, table numbering). *)
+
+(* --- GRE VPN (figure 7a): tunnel between routers A and C --------------- *)
+
+let gre_a =
+  {|#!/bin/bash
+# Insert the GRE-IP kernel module
+insmod /lib/modules/2.6.14-2/ip_gre.ko
+# Create the GRE tunnel with the appropriate key
+ip tunnel add name greA mode gre remote 204.9.169.1 local 204.9.168.1 ikey 1001 okey 2001 icsum ocsum iseq oseq
+ifconfig greA 192.168.3.1
+# Enable Routing
+echo 1 > /proc/sys/net/ipv4/ip_forward
+# Create IP routing from customer to tunnel
+echo 202 tun-1-2 >> /etc/iproute2/rt_tables
+ip rule add to 10.0.2.0/24 table tun-1-2
+ip route add default dev greA table tun-1-2
+# Create IP routing from tunnel to customer
+echo 203 tun-2-1 >> /etc/iproute2/rt_tables
+ip rule add iff greA table tun-2-1
+ip route add default dev eth1 table tun-2-1
+ip route add to 204.9.169.1 via 204.9.168.2 dev eth2
+|}
+
+(* Core router B only needs plain IP forwarding between its interfaces. *)
+let gre_b =
+  {|#!/bin/bash
+echo 1 > /proc/sys/net/ipv4/ip_forward
+|}
+
+(* Router C mirrors A: note the swapped key pair, the other site's prefix
+   and the symmetric next hop. *)
+let gre_c =
+  {|#!/bin/bash
+insmod /lib/modules/2.6.14-2/ip_gre.ko
+ip tunnel add name greC mode gre remote 204.9.168.1 local 204.9.169.1 ikey 2001 okey 1001 icsum ocsum iseq oseq
+ifconfig greC 192.168.3.2
+echo 1 > /proc/sys/net/ipv4/ip_forward
+echo 202 tun-1-2 >> /etc/iproute2/rt_tables
+ip rule add to 10.0.1.0/24 table tun-1-2
+ip route add default dev greC table tun-1-2
+echo 203 tun-2-1 >> /etc/iproute2/rt_tables
+ip rule add iff greC table tun-2-1
+ip route add default dev eth1 table tun-2-1
+ip route add to 204.9.168.1 via 204.9.169.2 dev eth2
+|}
+
+(* --- MPLS LSP (figure 8a): LSP through routers A, B and C --------------- *)
+
+let mpls_a =
+  {|#!/bin/bash
+# Instantiating MPLS kernel modules
+modprobe mpls
+modprobe mpls4
+# MPLS LSP for traffic from S2->S1
+mpls labelspace set dev eth2 labelspace 0
+mpls ilm add label gen 10001 labelspace 0
+KEY-S2-S1=`mpls nhlfe add key 0 mtu 1500 instructions nexthop eth1 ipv4 192.168.0.1 | grep key | cut -c 17-26`
+mpls xc add ilm label gen 10001 ilm labelspace 0 nhlfe key $KEY-S2-S1
+# MPLS LSP for traffic from S1->S2
+KEY-S1-S2=`mpls nhlfe add key 0 mtu 1500 instructions push gen 2001 nexthop eth2 ipv4 204.9.168.2 | grep key | cut -c 17-26`
+echo 1 > /proc/sys/net/ipv4/ip_forward
+ip route add 10.0.2.0/24 via 204.9.168.2 mpls $KEY-S1-S2
+|}
+
+let mpls_b =
+  {|#!/bin/bash
+modprobe mpls
+modprobe mpls4
+# swap 2001 -> 2002 towards C
+mpls labelspace set dev eth1 labelspace 0
+mpls ilm add label gen 2001 labelspace 0
+KEY-S1-S2=`mpls nhlfe add key 0 mtu 1500 instructions push gen 2002 nexthop eth2 ipv4 204.9.169.1 | grep key | cut -c 17-26`
+mpls xc add ilm label gen 2001 ilm labelspace 0 nhlfe key $KEY-S1-S2
+# swap 10002 -> 10001 towards A
+mpls labelspace set dev eth2 labelspace 0
+mpls ilm add label gen 10002 labelspace 0
+KEY-S2-S1=`mpls nhlfe add key 0 mtu 1500 instructions push gen 10001 nexthop eth1 ipv4 204.9.168.1 | grep key | cut -c 17-26`
+mpls xc add ilm label gen 10002 ilm labelspace 0 nhlfe key $KEY-S2-S1
+|}
+
+let mpls_c =
+  {|#!/bin/bash
+modprobe mpls
+modprobe mpls4
+# MPLS LSP for traffic from S1->S2 (egress)
+mpls labelspace set dev eth2 labelspace 0
+mpls ilm add label gen 2002 labelspace 0
+KEY-S1-S2=`mpls nhlfe add key 0 mtu 1500 instructions nexthop eth1 ipv4 192.168.1.1 | grep key | cut -c 17-26`
+mpls xc add ilm label gen 2002 ilm labelspace 0 nhlfe key $KEY-S1-S2
+# MPLS LSP for traffic from S2->S1 (ingress)
+KEY-S2-S1=`mpls nhlfe add key 0 mtu 1500 instructions push gen 10002 nexthop eth2 ipv4 204.9.169.2 | grep key | cut -c 17-26`
+echo 1 > /proc/sys/net/ipv4/ip_forward
+ip route add 10.0.1.0/24 via 204.9.169.2 mpls $KEY-S2-S1
+|}
+
+(* --- VLAN tunnelling (figure 9a) ----------------------------------------- *)
+
+let vlan_a =
+  {|# put module0 port 9 into VLAN22
+# ensure MTU is set properly
+set vlan 22 name C1 mtu 1504
+set vlan 22 gigabitethernet0/9
+# ensure module 0 port 7 is access port
+interface gigabitethernet0/7
+switchport access vlan 22
+switchport mode dot1q-tunnel
+exit
+vlan dot1q tag native
+end
+|}
+
+let vlan_b =
+  {|set vlan 22 name C1 mtu 1504
+set vlan 22 gigabitethernet0/9
+set vlan 22 gigabitethernet0/10
+vlan dot1q tag native
+end
+|}
+
+let vlan_c =
+  {|set vlan 22 name C1 mtu 1504
+set vlan 22 gigabitethernet0/9
+interface gigabitethernet0/7
+switchport access vlan 22
+switchport mode dot1q-tunnel
+exit
+vlan dot1q tag native
+end
+|}

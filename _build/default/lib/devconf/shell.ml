@@ -1,0 +1,98 @@
+(* A miniature shell, just big enough to run the paper's configuration
+   scripts (figures 7(a) and 8(a)): comments, variable assignment by
+   command substitution, $VAR expansion, and grep/cut pipelines inside
+   substitutions. *)
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* Expand $VAR references; variable names may contain '-', as the paper's
+   MPLS script uses names like KEY-S1-S2. *)
+let expand vars line =
+  let buf = Buffer.create (String.length line) in
+  let n = String.length line in
+  let is_var_char c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '-'
+  in
+  let rec go i =
+    if i >= n then ()
+    else if line.[i] = '$' then begin
+      let j = ref (i + 1) in
+      while !j < n && is_var_char line.[!j] do incr j done;
+      let name = String.sub line (i + 1) (!j - i - 1) in
+      (match Hashtbl.find_opt vars name with
+      | Some v -> Buffer.add_string buf v
+      | None -> fail "undefined variable $%s" name);
+      go !j
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* grep/cut are only needed to post-process command output inside
+   substitutions, exactly as the paper's scripts do. *)
+let apply_filter output filter =
+  match tokenize filter with
+  | "grep" :: pattern :: [] ->
+      String.split_on_char '\n' output
+      |> List.filter (fun l ->
+             let plen = String.length pattern and llen = String.length l in
+             let rec find i = i + plen <= llen && (String.sub l i plen = pattern || find (i + 1)) in
+             plen = 0 || find 0)
+      |> String.concat "\n"
+  | [ "cut"; "-c"; range ] -> (
+      match String.split_on_char '-' range with
+      | [ a; b ] ->
+          let a = int_of_string a and b = int_of_string b in
+          String.split_on_char '\n' output
+          |> List.map (fun l ->
+                 if String.length l < a then ""
+                 else String.sub l (a - 1) (min b (String.length l) - a + 1))
+          |> String.concat "\n"
+      | _ -> fail "cut: bad range %s" range)
+  | _ -> fail "unsupported filter: %s" filter
+
+let strip s = String.trim s
+
+(* Splits an assignment with command substitution:
+   NAME=`command | filter | filter`. *)
+let parse_assignment line =
+  match String.index_opt line '=' with
+  | Some i when i > 0 && i + 1 < String.length line && line.[i + 1] = '`' ->
+      let name = String.sub line 0 i in
+      let rest = String.sub line (i + 2) (String.length line - i - 2) in
+      if String.length rest > 0 && rest.[String.length rest - 1] = '`' then
+        Some (name, String.sub rest 0 (String.length rest - 1))
+      else None
+  | _ -> None
+
+type t = { vars : (string, string) Hashtbl.t; exec : string list -> string }
+
+let create exec = { vars = Hashtbl.create 8; exec }
+
+let run_line t line =
+  let line = strip line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    match parse_assignment line with
+    | Some (name, pipeline) ->
+        let stages = String.split_on_char '|' pipeline |> List.map strip in
+        let cmd, filters =
+          match stages with c :: fs -> (c, fs) | [] -> fail "empty substitution"
+        in
+        let out = t.exec (tokenize (expand t.vars cmd)) in
+        let out = List.fold_left apply_filter out filters in
+        Hashtbl.replace t.vars name (strip out)
+    | None -> ignore (t.exec (tokenize (expand t.vars line)))
+
+let run t script = List.iter (run_line t) (String.split_on_char '\n' script)
+
+let get_var t name = Hashtbl.find_opt t.vars name

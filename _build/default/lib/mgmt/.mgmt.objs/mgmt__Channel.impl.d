@@ -1,0 +1,1 @@
+lib/mgmt/channel.ml: Array Datapath Device Event_queue Frame Hashtbl List Netsim Packet

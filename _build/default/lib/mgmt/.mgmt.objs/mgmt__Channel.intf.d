@@ -1,0 +1,1 @@
+lib/mgmt/channel.mli: Netsim

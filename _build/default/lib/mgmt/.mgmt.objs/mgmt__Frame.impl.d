@@ -1,0 +1,1 @@
+lib/mgmt/frame.ml: Bytes Cursor Fmt Int32 Packet String

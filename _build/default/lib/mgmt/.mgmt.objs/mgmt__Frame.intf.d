@@ -1,0 +1,1 @@
+lib/mgmt/frame.mli: Fmt

@@ -1,0 +1,149 @@
+(* The management channel: device-to-NM communication that must work before
+   (and independently of) any data-plane configuration.
+
+   Two implementations, as in the paper's §III-A:
+   - [Oob]: a pre-configured out-of-band network (the separate management
+     NICs of the authors' testbed), modelled as direct delivery with a
+     fixed latency;
+   - [Raw]: the straw-man in-band channel — flooding of raw Ethernet
+     frames with per-source sequence-number suppression, needing no
+     configuration at all (the 4D discovery/dissemination plane). *)
+
+open Netsim
+
+type handler = src:string -> bytes -> unit
+
+type stats = { mutable frames_sent : int; mutable frames_delivered : int }
+
+type t = {
+  send : src:string -> dst:string -> bytes -> unit;
+  subscribe : string -> handler -> unit;
+  stats : stats;
+}
+
+let send t ~src ~dst payload = t.send ~src ~dst payload
+let subscribe t ~device_id handler = t.subscribe device_id handler
+let stats t = t.stats
+
+(* --- out-of-band ------------------------------------------------------ *)
+
+module Oob = struct
+  let create ?(latency_ns = 2_000L) eq =
+    let handlers : (string, handler) Hashtbl.t = Hashtbl.create 16 in
+    let stats = { frames_sent = 0; frames_delivered = 0 } in
+    let deliver ~src ~dst payload =
+      match Hashtbl.find_opt handlers dst with
+      | Some h ->
+          stats.frames_delivered <- stats.frames_delivered + 1;
+          h ~src payload
+      | None -> ()
+    in
+    let send ~src ~dst payload =
+      stats.frames_sent <- stats.frames_sent + 1;
+      Event_queue.schedule eq ~delay_ns:latency_ns (fun () ->
+          if dst = Frame.broadcast then
+            Hashtbl.iter
+              (fun id h ->
+                if id <> src then begin
+                  stats.frames_delivered <- stats.frames_delivered + 1;
+                  h ~src payload
+                end)
+              handlers
+          else deliver ~src ~dst payload)
+    in
+    { send; subscribe = (fun id h -> Hashtbl.replace handlers id h); stats }
+end
+
+(* --- raw in-band flooding --------------------------------------------- *)
+
+module Raw = struct
+  type agent = {
+    device : Device.t;
+    mutable next_seq : int;
+    seen : (string * int, unit) Hashtbl.t;
+    mutable handler : handler option;
+  }
+
+  type net_state = {
+    mutable agents : agent list;
+    raw_stats : stats;
+  }
+
+  let flood agent ?(except = -1) frame_bytes =
+    let eth_src i = (Device.port agent.device i).Device.port_mac in
+    Array.iter
+      (fun (p : Device.port) ->
+        if p.Device.port_index <> except then
+          let frame =
+            Packet.Ethernet.encode
+              {
+                Packet.Ethernet.dst = Packet.Mac_addr.broadcast;
+                src = eth_src p.Device.port_index;
+                ethertype = Packet.Ethertype.Mgmt;
+              }
+              frame_bytes
+          in
+          Datapath.transmit agent.device p.Device.port_index frame)
+      agent.device.Device.ports
+
+  let create () =
+    let st = { agents = []; raw_stats = { frames_sent = 0; frames_delivered = 0 } } in
+    let find_agent id =
+      List.find_opt (fun a -> a.device.Device.dev_id = id) st.agents
+    in
+    let deliver agent (f : Frame.t) =
+      match agent.handler with
+      | Some h ->
+          st.raw_stats.frames_delivered <- st.raw_stats.frames_delivered + 1;
+          h ~src:f.Frame.src_device f.Frame.payload
+      | None -> ()
+    in
+    let send ~src ~dst payload =
+      match find_agent src with
+      | None -> failwith ("mgmt raw channel: unknown source device " ^ src)
+      | Some agent ->
+          st.raw_stats.frames_sent <- st.raw_stats.frames_sent + 1;
+          agent.next_seq <- agent.next_seq + 1;
+          let f =
+            { Frame.src_device = src; dst_device = dst; seq = agent.next_seq; payload }
+          in
+          Hashtbl.replace agent.seen (src, f.Frame.seq) ();
+          (* Local loopback when a device messages itself (e.g. the NM's own
+             modules). *)
+          if dst = src then deliver agent f
+          else begin
+            (if dst = Frame.broadcast then
+               match agent.handler with
+               | Some _ -> () (* the source does not self-deliver broadcasts *)
+               | None -> ());
+            flood agent (Frame.encode f)
+          end
+    in
+    let subscribe id h =
+      match find_agent id with
+      | Some a -> a.handler <- Some h
+      | None -> failwith ("mgmt raw channel: device not attached: " ^ id)
+    in
+    let chan = { send; subscribe; stats = st.raw_stats } in
+    let attach device =
+      let agent = { device; next_seq = 0; seen = Hashtbl.create 64; handler = None } in
+      st.agents <- agent :: st.agents;
+      device.Device.mgmt_hook <-
+        Some
+          (fun ~in_port ~src:_ payload ->
+            match Frame.decode payload with
+            | exception Frame.Bad_frame _ -> ()
+            | f ->
+                let key = (f.Frame.src_device, f.Frame.seq) in
+                if not (Hashtbl.mem agent.seen key) then begin
+                  Hashtbl.replace agent.seen key ();
+                  let mine = f.Frame.dst_device = device.Device.dev_id in
+                  let bcast = f.Frame.dst_device = Frame.broadcast in
+                  if mine || bcast then deliver agent f;
+                  (* Forward everything that is not exclusively ours: the
+                     4D-style dissemination. *)
+                  if not mine then flood agent ~except:in_port payload
+                end)
+    in
+    (chan, attach)
+end

@@ -1,0 +1,31 @@
+(** The management channel: device-to-NM communication that must work
+    before, and independently of, any data-plane configuration (§III-A).
+
+    Two implementations, as in the paper: {!Oob} models the authors'
+    separate management NICs (direct delivery, fixed latency); {!Raw} is
+    the 4D-style straw man — raw-Ethernet flooding with per-source
+    sequence-number suppression, needing zero configuration. *)
+
+type handler = src:string -> bytes -> unit
+
+type stats = { mutable frames_sent : int; mutable frames_delivered : int }
+
+type t
+(** A channel endpoint: subscribe per device id, send to a device id or
+    {!Frame.broadcast}. *)
+
+val send : t -> src:string -> dst:string -> bytes -> unit
+val subscribe : t -> device_id:string -> handler -> unit
+val stats : t -> stats
+
+module Oob : sig
+  val create : ?latency_ns:int64 -> Netsim.Event_queue.t -> t
+end
+
+module Raw : sig
+  val create : unit -> t * (Netsim.Device.t -> unit)
+  (** [create ()] returns the channel and an [attach] function that turns a
+      device into a flooding management agent (it claims the device's
+      management-ethertype hook). Every participating device — including
+      the NM's station — must be attached before use. *)
+end

@@ -1,0 +1,54 @@
+(* Management-channel frames, carried directly in Ethernet frames with a
+   dedicated ethertype (CONMan §III-A: "management frames encapsulated in
+   Ethernet frames ... no pre-configuration is needed"). *)
+
+open Packet
+
+type t = {
+  src_device : string;
+  dst_device : string; (* "" = flood to every management agent *)
+  seq : int; (* per-source sequence number, used for flood suppression *)
+  payload : bytes;
+}
+
+exception Bad_frame of string
+
+let broadcast = ""
+
+let write_string w s =
+  if String.length s > 0xffff then invalid_arg "Frame.write_string";
+  Cursor.w16 w (String.length s);
+  Cursor.wbytes w (Bytes.of_string s)
+
+let read_string r =
+  let n = Cursor.u16 r in
+  Bytes.to_string (Cursor.take r n)
+
+let encode t =
+  let w = Cursor.writer () in
+  write_string w t.src_device;
+  write_string w t.dst_device;
+  Cursor.w32 w (Int32.of_int t.seq);
+  Cursor.w16 w (Bytes.length t.payload);
+  Cursor.wbytes w t.payload;
+  Cursor.contents w
+
+let decode buf =
+  try
+    let r = Cursor.reader buf in
+    let src_device = read_string r in
+    let dst_device = read_string r in
+    let seq = Int32.to_int (Cursor.u32 r) in
+    let len = Cursor.u16 r in
+    let payload = Cursor.take r len in
+    { src_device; dst_device; seq; payload }
+  with Cursor.Truncated -> raise (Bad_frame "truncated")
+
+let equal a b =
+  a.src_device = b.src_device && a.dst_device = b.dst_device && a.seq = b.seq
+  && Bytes.equal a.payload b.payload
+
+let pp ppf t =
+  Fmt.pf ppf "mgmt %s -> %s #%d (%d bytes)" t.src_device
+    (if t.dst_device = "" then "*" else t.dst_device)
+    t.seq (Bytes.length t.payload)

@@ -1,0 +1,1 @@
+lib/netsim/counters.ml: Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/netsim/device.ml: Array Counters Event_queue Float Fmt Hashtbl Icmp Int64 Ipv4 Ipv4_addr Link List Mac_addr Packet Prefix Printf Seq

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Bytes Event_queue List

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Datapath Device Event_queue Link List Printf

@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Device Event_queue Link

@@ -1,0 +1,1 @@
+lib/netsim/ping.ml: Bytes Datapath Device Icmp Ipv4 Ipv4_addr Net Packet

@@ -1,0 +1,1 @@
+lib/netsim/ping.mli: Device Net Packet

@@ -1,0 +1,1 @@
+lib/netsim/testbeds.ml: Array Device Ipv4_addr List Net Packet Ping Prefix Printf

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Bytes Fmt Fun List Packet

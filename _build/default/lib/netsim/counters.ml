@@ -1,0 +1,23 @@
+(* Named monotonic counters, used for the performance-reporting part of the
+   module abstraction and for debugging. *)
+
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t name (ref by)
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t = Hashtbl.reset t
+
+let pp ppf t =
+  Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.comma (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int))
+    (to_list t)

@@ -1,0 +1,15 @@
+(** Named monotonic counters — the per-pipe/per-device statistics behind
+    the performance-reporting part of the module abstraction. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+(** 0 for counters never incremented. *)
+
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val reset : t -> unit
+val pp : t Fmt.t

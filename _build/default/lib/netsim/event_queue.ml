@@ -1,0 +1,49 @@
+(* A discrete-event scheduler. Events at equal timestamps run in
+   scheduling order, which keeps simulations deterministic. *)
+
+module Key = struct
+  type t = int64 * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c
+end
+
+module M = Map.Make (Key)
+
+type t = {
+  mutable now : int64;
+  mutable seq : int;
+  mutable events : (unit -> unit) M.t;
+  mutable processed : int;
+}
+
+let create () = { now = 0L; seq = 0; events = M.empty; processed = 0 }
+
+let now t = t.now
+let pending t = M.cardinal t.events
+let processed t = t.processed
+
+let schedule t ~delay_ns f =
+  if delay_ns < 0L then invalid_arg "Event_queue.schedule";
+  let key = (Int64.add t.now delay_ns, t.seq) in
+  t.seq <- t.seq + 1;
+  t.events <- M.add key f t.events
+
+exception Budget_exhausted
+
+let run ?(max_events = 10_000_000) t =
+  let count = ref 0 in
+  let rec loop () =
+    match M.min_binding_opt t.events with
+    | None -> ()
+    | Some (((time, _) as key), f) ->
+        if !count >= max_events then raise Budget_exhausted;
+        incr count;
+        t.processed <- t.processed + 1;
+        t.events <- M.remove key t.events;
+        t.now <- time;
+        f ();
+        loop ()
+  in
+  loop ();
+  !count

@@ -1,0 +1,15 @@
+(** Discrete-event scheduler; deterministic FIFO order at equal timestamps. *)
+
+type t
+
+exception Budget_exhausted
+
+val create : unit -> t
+val now : t -> int64
+val pending : t -> int
+val processed : t -> int
+val schedule : t -> delay_ns:int64 -> (unit -> unit) -> unit
+
+val run : ?max_events:int -> t -> int
+(** Runs events until the queue drains; returns the number processed.
+    Raises {!Budget_exhausted} past [max_events] (guards against loops). *)

@@ -1,0 +1,66 @@
+(* Physical links. A segment is a broadcast medium with attached endpoints;
+   a cable is a segment with exactly two. Frames are delivered to every other
+   endpoint after the segment latency. Links can be cut (for fault-injection
+   experiments) and have an MTU covering the Ethernet payload. *)
+
+type endpoint = {
+  segment : segment;
+  ep_id : int;
+  mutable rx : bytes -> unit;
+}
+
+and segment = {
+  link_id : int;
+  eq : Event_queue.t;
+  latency_ns : int64;
+  mtu : int;
+  mutable endpoints : endpoint list;
+  mutable cut : bool;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let next_id = ref 0
+
+let create_segment ?(latency_ns = 1_000L) ?(mtu = 1518) eq =
+  incr next_id;
+  {
+    link_id = !next_id;
+    eq;
+    latency_ns;
+    mtu;
+    endpoints = [];
+    cut = false;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let attach segment =
+  let ep = { segment; ep_id = List.length segment.endpoints; rx = (fun _ -> ()) } in
+  segment.endpoints <- segment.endpoints @ [ ep ];
+  ep
+
+let set_rx ep f = ep.rx <- f
+
+let send ep frame =
+  let seg = ep.segment in
+  if seg.cut || Bytes.length frame > seg.mtu then seg.dropped <- seg.dropped + 1
+  else
+    List.iter
+      (fun other ->
+        if other.ep_id <> ep.ep_id then
+          Event_queue.schedule seg.eq ~delay_ns:seg.latency_ns (fun () ->
+              if not seg.cut then begin
+                seg.delivered <- seg.delivered + 1;
+                other.rx frame
+              end
+              else seg.dropped <- seg.dropped + 1))
+      seg.endpoints
+
+let cut segment = segment.cut <- true
+let restore segment = segment.cut <- false
+let is_cut segment = segment.cut
+let id segment = segment.link_id
+let delivered segment = segment.delivered
+let dropped segment = segment.dropped
+let mtu segment = segment.mtu

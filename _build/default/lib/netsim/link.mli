@@ -1,0 +1,16 @@
+(** Physical links: broadcast segments with attachable endpoints. *)
+
+type endpoint
+type segment
+
+val create_segment : ?latency_ns:int64 -> ?mtu:int -> Event_queue.t -> segment
+val attach : segment -> endpoint
+val set_rx : endpoint -> (bytes -> unit) -> unit
+val send : endpoint -> bytes -> unit
+val cut : segment -> unit
+val restore : segment -> unit
+val is_cut : segment -> bool
+val id : segment -> int
+val delivered : segment -> int
+val dropped : segment -> int
+val mtu : segment -> int

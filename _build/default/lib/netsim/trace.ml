@@ -1,0 +1,35 @@
+(* A global packet/event tracer. Disabled by default; tests and the NM
+   debugger enable it to observe the data plane. *)
+
+type event = { seq : int; device : string; what : string; port : string; detail : string }
+
+let enabled = ref false
+let events : event list ref = ref []
+let counter = ref 0
+let limit = 100_000
+
+let clear () =
+  events := [];
+  counter := 0
+
+let emit ~device ~what ?(port = "") frame =
+  if !enabled && !counter < limit then begin
+    incr counter;
+    let detail =
+      if what = "rx" || what = "tx" then Fmt.str "%s" (Packet.Frame.signature frame)
+      else Bytes.to_string frame
+    in
+    events := { seq = !counter; device; what; port; detail } :: !events
+  end
+
+let with_trace f =
+  let was = !enabled in
+  enabled := true;
+  clear ();
+  Fun.protect ~finally:(fun () -> enabled := was) f
+
+let get () = List.rev !events
+
+let pp_event ppf e = Fmt.pf ppf "[%04d] %-8s %-10s %-6s %s" e.seq e.device e.what e.port e.detail
+
+let dump ppf () = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_event) (get ())

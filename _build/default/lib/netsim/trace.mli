@@ -1,0 +1,15 @@
+(** A global packet/event tracer, disabled by default. Tests and the NM
+    debugger enable it to observe the data plane; rx/tx events record the
+    frame's protocol signature (e.g. ["eth.ip.gre.ip.icmp"]). *)
+
+type event = { seq : int; device : string; what : string; port : string; detail : string }
+
+val enabled : bool ref
+val clear : unit -> unit
+val emit : device:string -> what:string -> ?port:string -> bytes -> unit
+val with_trace : (unit -> 'a) -> 'a
+(** Runs the thunk with tracing on (cleared first), restoring the flag. *)
+
+val get : unit -> event list
+val pp_event : event Fmt.t
+val dump : unit Fmt.t

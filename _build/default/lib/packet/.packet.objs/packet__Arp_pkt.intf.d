@@ -1,0 +1,1 @@
+lib/packet/arp_pkt.mli: Fmt Ipv4_addr Mac_addr

@@ -1,0 +1,1 @@
+lib/packet/cursor.ml: Bytes Char Int32

@@ -1,0 +1,1 @@
+lib/packet/esp.ml: Bytes Char Cursor Fmt Inet_csum Int32

@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Cursor Ethertype Fmt Mac_addr

@@ -1,0 +1,1 @@
+lib/packet/ethernet.mli: Cursor Ethertype Fmt Mac_addr

@@ -1,0 +1,1 @@
+lib/packet/ethertype.ml: Fmt Printf

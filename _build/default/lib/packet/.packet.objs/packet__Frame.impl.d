@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Arp_pkt Bytes Cursor Ethernet Ethertype Fmt Gre Icmp Ip_proto Ipv4 List Mpls String Udp Vlan

@@ -1,0 +1,1 @@
+lib/packet/gre.ml: Bytes Cursor Ethertype Fmt Inet_csum

@@ -1,0 +1,1 @@
+lib/packet/gre.mli: Ethertype Fmt

@@ -1,0 +1,1 @@
+lib/packet/icmp.ml: Bytes Cursor Fmt Inet_csum

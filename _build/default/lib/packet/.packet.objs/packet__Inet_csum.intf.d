@@ -1,0 +1,1 @@
+lib/packet/inet_csum.mli:

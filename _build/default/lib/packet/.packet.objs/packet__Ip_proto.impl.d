@@ -1,0 +1,1 @@
+lib/packet/ip_proto.ml: Fmt

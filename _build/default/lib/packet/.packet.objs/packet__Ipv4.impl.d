@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Bytes Cursor Fmt Inet_csum Ip_proto Ipv4_addr

@@ -1,0 +1,1 @@
+lib/packet/mac_addr.ml: Cursor Fmt Hashtbl Int32 Printf String

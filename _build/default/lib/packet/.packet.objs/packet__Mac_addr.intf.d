@@ -1,0 +1,1 @@
+lib/packet/mac_addr.mli: Cursor Fmt

@@ -1,0 +1,1 @@
+lib/packet/mpls.ml: Cursor Fmt Int32 List

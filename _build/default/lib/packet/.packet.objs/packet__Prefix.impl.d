@@ -1,0 +1,1 @@
+lib/packet/prefix.ml: Fmt Int32 Ipv4_addr Printf String

@@ -1,0 +1,1 @@
+lib/packet/prefix.mli: Fmt Ipv4_addr

@@ -1,0 +1,1 @@
+lib/packet/udp.mli: Fmt Ipv4_addr

@@ -1,0 +1,1 @@
+lib/packet/vlan.mli: Cursor Ethertype Fmt

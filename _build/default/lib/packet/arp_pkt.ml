@@ -1,0 +1,61 @@
+(* ARP for IPv4 over Ethernet (RFC 826). *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ipv4_addr.t;
+  target_mac : Mac_addr.t;
+  target_ip : Ipv4_addr.t;
+}
+
+exception Bad_header of string
+
+let size = 28
+
+let encode t =
+  let w = Cursor.writer () in
+  Cursor.w16 w 1 (* htype ethernet *);
+  Cursor.w16 w (Ethertype.to_int Ethertype.Ipv4);
+  Cursor.w8 w 6;
+  Cursor.w8 w 4;
+  Cursor.w16 w (match t.op with Request -> 1 | Reply -> 2);
+  Mac_addr.write w t.sender_mac;
+  Ipv4_addr.write w t.sender_ip;
+  Mac_addr.write w t.target_mac;
+  Ipv4_addr.write w t.target_ip;
+  Cursor.contents w
+
+let decode buf =
+  let r = Cursor.reader buf in
+  if Cursor.remaining r < size then raise (Bad_header "truncated");
+  let htype = Cursor.u16 r in
+  let ptype = Cursor.u16 r in
+  let hlen = Cursor.u8 r in
+  let plen = Cursor.u8 r in
+  if htype <> 1 || ptype <> Ethertype.to_int Ethertype.Ipv4 || hlen <> 6 || plen <> 4 then
+    raise (Bad_header "unsupported ARP format");
+  let op =
+    match Cursor.u16 r with
+    | 1 -> Request
+    | 2 -> Reply
+    | _ -> raise (Bad_header "unknown op")
+  in
+  let sender_mac = Mac_addr.read r in
+  let sender_ip = Ipv4_addr.read r in
+  let target_mac = Mac_addr.read r in
+  let target_ip = Ipv4_addr.read r in
+  { op; sender_mac; sender_ip; target_mac; target_ip }
+
+let equal a b =
+  a.op = b.op
+  && Mac_addr.equal a.sender_mac b.sender_mac
+  && Ipv4_addr.equal a.sender_ip b.sender_ip
+  && Mac_addr.equal a.target_mac b.target_mac
+  && Ipv4_addr.equal a.target_ip b.target_ip
+
+let pp ppf t =
+  match t.op with
+  | Request -> Fmt.pf ppf "arp who-has %a tell %a" Ipv4_addr.pp t.target_ip Ipv4_addr.pp t.sender_ip
+  | Reply -> Fmt.pf ppf "arp %a is-at %a" Ipv4_addr.pp t.sender_ip Mac_addr.pp t.sender_mac

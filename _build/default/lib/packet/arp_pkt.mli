@@ -1,0 +1,19 @@
+(** ARP for IPv4 over Ethernet. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ipv4_addr.t;
+  target_mac : Mac_addr.t;
+  target_ip : Ipv4_addr.t;
+}
+
+exception Bad_header of string
+
+val size : int
+val encode : t -> bytes
+val decode : bytes -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,84 @@
+(* Byte-oriented readers and writers used by all header codecs.
+   All multi-byte fields are big-endian (network order). *)
+
+exception Truncated
+
+type r = { buf : bytes; mutable rpos : int; rlimit : int }
+
+let reader ?(pos = 0) ?limit buf =
+  let rlimit = match limit with Some l -> l | None -> Bytes.length buf in
+  if pos < 0 || pos > rlimit || rlimit > Bytes.length buf then invalid_arg "Cursor.reader";
+  { buf; rpos = pos; rlimit }
+
+let pos r = r.rpos
+let remaining r = r.rlimit - r.rpos
+
+let check r n = if remaining r < n then raise Truncated
+
+let u8 r =
+  check r 1;
+  let v = Char.code (Bytes.get r.buf r.rpos) in
+  r.rpos <- r.rpos + 1;
+  v
+
+let u16 r =
+  let hi = u8 r in
+  let lo = u8 r in
+  (hi lsl 8) lor lo
+
+let u32 r =
+  let hi = u16 r in
+  let lo = u16 r in
+  Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo)
+
+let take r n =
+  check r n;
+  let b = Bytes.sub r.buf r.rpos n in
+  r.rpos <- r.rpos + n;
+  b
+
+let rest r = take r (remaining r)
+
+let skip r n =
+  check r n;
+  r.rpos <- r.rpos + n
+
+type w = { mutable wbuf : bytes; mutable wpos : int }
+
+let writer () = { wbuf = Bytes.create 64; wpos = 0 }
+
+let ensure w n =
+  let needed = w.wpos + n in
+  if needed > Bytes.length w.wbuf then begin
+    let cap = ref (Bytes.length w.wbuf * 2) in
+    while !cap < needed do cap := !cap * 2 done;
+    let nb = Bytes.create !cap in
+    Bytes.blit w.wbuf 0 nb 0 w.wpos;
+    w.wbuf <- nb
+  end
+
+let w8 w v =
+  ensure w 1;
+  Bytes.set w.wbuf w.wpos (Char.chr (v land 0xff));
+  w.wpos <- w.wpos + 1
+
+let w16 w v =
+  w8 w (v lsr 8);
+  w8 w v
+
+let w32 w v =
+  w16 w (Int32.to_int (Int32.shift_right_logical v 16) land 0xffff);
+  w16 w (Int32.to_int v land 0xffff)
+
+let wbytes w b =
+  ensure w (Bytes.length b);
+  Bytes.blit b 0 w.wbuf w.wpos (Bytes.length b);
+  w.wpos <- w.wpos + Bytes.length b
+
+let length w = w.wpos
+let contents w = Bytes.sub w.wbuf 0 w.wpos
+
+let patch_u16 w off v =
+  if off + 2 > w.wpos then invalid_arg "Cursor.patch_u16";
+  Bytes.set w.wbuf off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set w.wbuf (off + 1) (Char.chr (v land 0xff))

@@ -1,0 +1,32 @@
+(** Byte-oriented readers and writers used by all header codecs.
+    Multi-byte fields are big-endian (network order). *)
+
+exception Truncated
+
+type r
+(** A read cursor over an immutable region of bytes. *)
+
+val reader : ?pos:int -> ?limit:int -> bytes -> r
+val pos : r -> int
+val remaining : r -> int
+val u8 : r -> int
+val u16 : r -> int
+val u32 : r -> int32
+val take : r -> int -> bytes
+val rest : r -> bytes
+val skip : r -> int -> unit
+
+type w
+(** A growable write buffer. *)
+
+val writer : unit -> w
+val w8 : w -> int -> unit
+val w16 : w -> int -> unit
+val w32 : w -> int32 -> unit
+val wbytes : w -> bytes -> unit
+val length : w -> int
+val contents : w -> bytes
+
+val patch_u16 : w -> int -> int -> unit
+(** [patch_u16 w off v] overwrites the two bytes at [off] (used to fill
+    checksums after the covered region has been written). *)

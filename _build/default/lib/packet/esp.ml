@@ -1,0 +1,58 @@
+(* A simplified ESP (IP protocol 50) for the simulator: SPI, sequence
+   number, "encrypted" payload and an authentication tag. Encryption is a
+   keyed byte transform and the tag a keyed checksum — enough that only
+   endpoints holding the same key can exchange traffic, which is the
+   property the management experiments rely on. *)
+
+type t = { spi : int32; seq : int32 }
+
+exception Bad_packet of string
+
+let header_size = 8
+let tag_size = 2
+
+let keystream key i =
+  (* a tiny xorshift-style stream seeded by the key and position *)
+  let k = Int32.to_int key land 0xffffffff in
+  let x = (k * 1103515245) + (i * 12820163) + 12345 in
+  (x lsr 16) land 0xff
+
+let transform ~key buf =
+  Bytes.mapi (fun i c -> Char.chr (Char.code c lxor keystream key i)) buf
+
+let tag ~key buf =
+  let w = Cursor.writer () in
+  Cursor.w32 w key;
+  Cursor.wbytes w buf;
+  let b = Cursor.contents w in
+  Inet_csum.checksum b 0 (Bytes.length b)
+
+let encode ~key t payload =
+  let w = Cursor.writer () in
+  Cursor.w32 w t.spi;
+  Cursor.w32 w t.seq;
+  let cipher = transform ~key payload in
+  Cursor.wbytes w cipher;
+  Cursor.w16 w (tag ~key cipher);
+  Cursor.contents w
+
+(* Decodes and authenticates with [key]; raises on a tag mismatch (wrong
+   or missing keying material). *)
+let decode ~key buf =
+  let n = Bytes.length buf in
+  if n < header_size + tag_size then raise (Bad_packet "truncated");
+  let r = Cursor.reader ~limit:(n - tag_size) buf in
+  let spi = Cursor.u32 r in
+  let seq = Cursor.u32 r in
+  let cipher = Cursor.rest r in
+  let got = Cursor.reader ~pos:(n - tag_size) buf in
+  let expect = Cursor.u16 got in
+  if expect <> tag ~key cipher then raise (Bad_packet "authentication failed");
+  ({ spi; seq }, transform ~key cipher)
+
+let spi_only buf =
+  if Bytes.length buf < 4 then raise (Bad_packet "truncated");
+  Cursor.u32 (Cursor.reader buf)
+
+let equal a b = Int32.equal a.spi b.spi && Int32.equal a.seq b.seq
+let pp ppf t = Fmt.pf ppf "esp spi=%ld seq=%ld" t.spi t.seq

@@ -1,0 +1,30 @@
+(* Ethernet II framing (no FCS; the simulator's links are reliable unless
+   asked to corrupt). *)
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : Ethertype.t }
+
+let header_size = 14
+
+let write w { dst; src; ethertype } =
+  Mac_addr.write w dst;
+  Mac_addr.write w src;
+  Cursor.w16 w (Ethertype.to_int ethertype)
+
+let read r =
+  let dst = Mac_addr.read r in
+  let src = Mac_addr.read r in
+  let ethertype = Ethertype.of_int (Cursor.u16 r) in
+  { dst; src; ethertype }
+
+let encode t payload =
+  let w = Cursor.writer () in
+  write w t;
+  Cursor.wbytes w payload;
+  Cursor.contents w
+
+let equal a b =
+  Mac_addr.equal a.dst b.dst && Mac_addr.equal a.src b.src
+  && Ethertype.equal a.ethertype b.ethertype
+
+let pp ppf t =
+  Fmt.pf ppf "eth %a -> %a %a" Mac_addr.pp t.src Mac_addr.pp t.dst Ethertype.pp t.ethertype

@@ -1,0 +1,10 @@
+(** Ethernet II framing. *)
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : Ethertype.t }
+
+val header_size : int
+val write : Cursor.w -> t -> unit
+val read : Cursor.r -> t
+val encode : t -> bytes -> bytes
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,41 @@
+(* EtherType values used by the simulator. *)
+
+type t =
+  | Ipv4
+  | Arp
+  | Vlan (* 802.1Q *)
+  | Qinq (* 802.1ad outer tag *)
+  | Mpls_unicast
+  | Mgmt (* CONMan management channel, a local-experimental ethertype *)
+  | Other of int
+
+let to_int = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Vlan -> 0x8100
+  | Qinq -> 0x88a8
+  | Mpls_unicast -> 0x8847
+  | Mgmt -> 0x88b5
+  | Other v -> v
+
+let of_int = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | 0x8100 -> Vlan
+  | 0x88a8 -> Qinq
+  | 0x8847 -> Mpls_unicast
+  | 0x88b5 -> Mgmt
+  | v -> Other v
+
+let equal a b = to_int a = to_int b
+
+let to_string = function
+  | Ipv4 -> "IPv4"
+  | Arp -> "ARP"
+  | Vlan -> "802.1Q"
+  | Qinq -> "802.1ad"
+  | Mpls_unicast -> "MPLS"
+  | Mgmt -> "MGMT"
+  | Other v -> Printf.sprintf "0x%04x" v
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,68 @@
+(* GRE per RFC 2784 with the RFC 2890 key and sequence-number extensions.
+   The checksum, when present, covers the GRE header and payload. *)
+
+type t = {
+  key : int32 option;
+  seq : int32 option;
+  with_csum : bool;
+  protocol : Ethertype.t;
+}
+
+exception Bad_header of string
+
+let make ?key ?seq ?(with_csum = false) protocol = { key; seq; with_csum; protocol }
+
+let header_size t =
+  4
+  + (if t.with_csum then 4 else 0)
+  + (match t.key with Some _ -> 4 | None -> 0)
+  + match t.seq with Some _ -> 4 | None -> 0
+
+let encode t payload =
+  let w = Cursor.writer () in
+  let flags =
+    (if t.with_csum then 0x8000 else 0)
+    lor (match t.key with Some _ -> 0x2000 | None -> 0)
+    lor match t.seq with Some _ -> 0x1000 | None -> 0
+  in
+  Cursor.w16 w flags;
+  Cursor.w16 w (Ethertype.to_int t.protocol);
+  let csum_off = if t.with_csum then Some (Cursor.length w) else None in
+  if t.with_csum then Cursor.w32 w 0l;
+  (match t.key with Some k -> Cursor.w32 w k | None -> ());
+  (match t.seq with Some s -> Cursor.w32 w s | None -> ());
+  Cursor.wbytes w payload;
+  (match csum_off with
+  | Some off ->
+      let buf = Cursor.contents w in
+      Cursor.patch_u16 w off (Inet_csum.checksum buf 0 (Bytes.length buf))
+  | None -> ());
+  Cursor.contents w
+
+let decode buf =
+  let r = Cursor.reader buf in
+  if Cursor.remaining r < 4 then raise (Bad_header "truncated");
+  let flags = Cursor.u16 r in
+  if flags land 0x0007 <> 0 then raise (Bad_header "bad version");
+  if flags land 0x4000 <> 0 then raise (Bad_header "routing present unsupported");
+  let protocol = Ethertype.of_int (Cursor.u16 r) in
+  let with_csum = flags land 0x8000 <> 0 in
+  if with_csum then begin
+    if not (Inet_csum.valid buf 0 (Bytes.length buf)) then raise (Bad_header "bad checksum");
+    Cursor.skip r 4
+  end;
+  let key = if flags land 0x2000 <> 0 then Some (Cursor.u32 r) else None in
+  let seq = if flags land 0x1000 <> 0 then Some (Cursor.u32 r) else None in
+  ({ key; seq; with_csum; protocol }, Cursor.rest r)
+
+let equal a b =
+  a.key = b.key && a.seq = b.seq && a.with_csum = b.with_csum
+  && Ethertype.equal a.protocol b.protocol
+
+let pp ppf t =
+  Fmt.pf ppf "gre proto=%a%a%a%s" Ethertype.pp t.protocol
+    (Fmt.option (fun ppf k -> Fmt.pf ppf " key=%ld" k))
+    t.key
+    (Fmt.option (fun ppf s -> Fmt.pf ppf " seq=%ld" s))
+    t.seq
+    (if t.with_csum then " csum" else "")

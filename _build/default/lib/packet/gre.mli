@@ -1,0 +1,17 @@
+(** GRE headers (RFC 2784 + RFC 2890 key/sequence extensions). *)
+
+type t = {
+  key : int32 option;
+  seq : int32 option;
+  with_csum : bool;
+  protocol : Ethertype.t;
+}
+
+exception Bad_header of string
+
+val make : ?key:int32 -> ?seq:int32 -> ?with_csum:bool -> Ethertype.t -> t
+val header_size : t -> int
+val encode : t -> bytes -> bytes
+val decode : bytes -> t * bytes
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,62 @@
+(* ICMP echo request/reply and the error messages the simulator emits. *)
+
+type t =
+  | Echo_request of { id : int; seq : int }
+  | Echo_reply of { id : int; seq : int }
+  | Dest_unreachable of { code : int }
+  | Time_exceeded
+
+exception Bad_header of string
+
+let encode t payload =
+  let w = Cursor.writer () in
+  let ty, code, a, b =
+    match t with
+    | Echo_request { id; seq } -> (8, 0, id, seq)
+    | Echo_reply { id; seq } -> (0, 0, id, seq)
+    | Dest_unreachable { code } -> (3, code, 0, 0)
+    | Time_exceeded -> (11, 0, 0, 0)
+  in
+  Cursor.w8 w ty;
+  Cursor.w8 w code;
+  Cursor.w16 w 0;
+  Cursor.w16 w a;
+  Cursor.w16 w b;
+  Cursor.wbytes w payload;
+  let buf = Cursor.contents w in
+  Cursor.patch_u16 w 2 (Inet_csum.checksum buf 0 (Bytes.length buf));
+  Cursor.contents w
+
+let decode buf =
+  let r = Cursor.reader buf in
+  if Cursor.remaining r < 8 then raise (Bad_header "truncated");
+  if not (Inet_csum.valid buf 0 (Bytes.length buf)) then raise (Bad_header "bad checksum");
+  let ty = Cursor.u8 r in
+  let code = Cursor.u8 r in
+  let _csum = Cursor.u16 r in
+  let a = Cursor.u16 r in
+  let b = Cursor.u16 r in
+  let payload = Cursor.rest r in
+  let t =
+    match ty with
+    | 8 -> Echo_request { id = a; seq = b }
+    | 0 -> Echo_reply { id = a; seq = b }
+    | 3 -> Dest_unreachable { code }
+    | 11 -> Time_exceeded
+    | _ -> raise (Bad_header "unknown type")
+  in
+  (t, payload)
+
+let equal a b =
+  match (a, b) with
+  | Echo_request x, Echo_request y -> x.id = y.id && x.seq = y.seq
+  | Echo_reply x, Echo_reply y -> x.id = y.id && x.seq = y.seq
+  | Dest_unreachable x, Dest_unreachable y -> x.code = y.code
+  | Time_exceeded, Time_exceeded -> true
+  | (Echo_request _ | Echo_reply _ | Dest_unreachable _ | Time_exceeded), _ -> false
+
+let pp ppf = function
+  | Echo_request { id; seq } -> Fmt.pf ppf "icmp echo-req id=%d seq=%d" id seq
+  | Echo_reply { id; seq } -> Fmt.pf ppf "icmp echo-rep id=%d seq=%d" id seq
+  | Dest_unreachable { code } -> Fmt.pf ppf "icmp unreachable code=%d" code
+  | Time_exceeded -> Fmt.string ppf "icmp time-exceeded"

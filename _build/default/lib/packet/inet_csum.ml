@@ -1,0 +1,23 @@
+(* RFC 1071 Internet checksum. *)
+
+let sum_bytes init buf off len =
+  let acc = ref init in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + ((Char.code (Bytes.get buf !i) lsl 8) lor Char.code (Bytes.get buf (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get buf !i) lsl 8);
+  !acc
+
+let fold acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  !acc
+
+let checksum ?(init = 0) buf off len = lnot (fold (sum_bytes init buf off len)) land 0xffff
+
+let valid buf off len = fold (sum_bytes 0 buf off len) = 0xffff

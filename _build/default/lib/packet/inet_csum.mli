@@ -1,0 +1,14 @@
+(** RFC 1071 Internet checksum (one's-complement sum of 16-bit words). *)
+
+val checksum : ?init:int -> bytes -> int -> int -> int
+(** [checksum buf off len] is the checksum over [len] bytes at [off];
+    [init] seeds the one's-complement sum (for pseudo-headers). *)
+
+val valid : bytes -> int -> int -> bool
+(** [valid buf off len] checks a region whose checksum field is filled. *)
+
+val sum_bytes : int -> bytes -> int -> int -> int
+(** Raw one's-complement accumulation, for incremental use. *)
+
+val fold : int -> int
+(** Fold carries into 16 bits. *)

@@ -1,0 +1,19 @@
+(* IP protocol numbers used by the simulator. *)
+
+type t = Icmp | Ipip | Udp | Gre | Esp | Other of int
+
+let to_int = function Icmp -> 1 | Ipip -> 4 | Udp -> 17 | Gre -> 47 | Esp -> 50 | Other v -> v
+
+let of_int = function 1 -> Icmp | 4 -> Ipip | 17 -> Udp | 47 -> Gre | 50 -> Esp | v -> Other v
+
+let equal a b = to_int a = to_int b
+
+let to_string = function
+  | Icmp -> "icmp"
+  | Ipip -> "ipip"
+  | Udp -> "udp"
+  | Gre -> "gre"
+  | Esp -> "esp"
+  | Other v -> string_of_int v
+
+let pp ppf t = Fmt.string ppf (to_string t)

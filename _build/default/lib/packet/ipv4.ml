@@ -1,0 +1,68 @@
+(* IPv4 headers (no options). Encoding fills total length and checksum;
+   decoding verifies the checksum and rejects truncated packets. *)
+
+type t = {
+  tos : int;
+  id : int;
+  dont_fragment : bool;
+  ttl : int;
+  proto : Ip_proto.t;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+}
+
+exception Bad_header of string
+
+let header_size = 20
+
+let make ?(tos = 0) ?(id = 0) ?(dont_fragment = true) ?(ttl = 64) ~proto ~src ~dst () =
+  { tos; id; dont_fragment; ttl; proto; src; dst }
+
+let encode t payload =
+  let w = Cursor.writer () in
+  Cursor.w8 w 0x45;
+  Cursor.w8 w t.tos;
+  Cursor.w16 w (header_size + Bytes.length payload);
+  Cursor.w16 w t.id;
+  Cursor.w16 w (if t.dont_fragment then 0x4000 else 0);
+  Cursor.w8 w t.ttl;
+  Cursor.w8 w (Ip_proto.to_int t.proto);
+  Cursor.w16 w 0 (* checksum placeholder *);
+  Ipv4_addr.write w t.src;
+  Ipv4_addr.write w t.dst;
+  let hdr = Cursor.contents w in
+  Cursor.patch_u16 w 10 (Inet_csum.checksum hdr 0 header_size);
+  Cursor.wbytes w payload;
+  Cursor.contents w
+
+let decode buf =
+  let r = Cursor.reader buf in
+  if Cursor.remaining r < header_size then raise (Bad_header "truncated");
+  let vihl = Cursor.u8 r in
+  if vihl lsr 4 <> 4 then raise (Bad_header "not IPv4");
+  let ihl = (vihl land 0xf) * 4 in
+  if ihl <> header_size then raise (Bad_header "options unsupported");
+  let tos = Cursor.u8 r in
+  let total_len = Cursor.u16 r in
+  if total_len < header_size || total_len > Bytes.length buf then
+    raise (Bad_header "bad total length");
+  let id = Cursor.u16 r in
+  let flags_frag = Cursor.u16 r in
+  if flags_frag land 0x3fff <> 0 then raise (Bad_header "fragments unsupported");
+  let ttl = Cursor.u8 r in
+  let proto = Ip_proto.of_int (Cursor.u8 r) in
+  let _csum = Cursor.u16 r in
+  if not (Inet_csum.valid buf 0 header_size) then raise (Bad_header "bad checksum");
+  let src = Ipv4_addr.read r in
+  let dst = Ipv4_addr.read r in
+  let payload = Bytes.sub buf header_size (total_len - header_size) in
+  ({ tos; id; dont_fragment = flags_frag land 0x4000 <> 0; ttl; proto; src; dst }, payload)
+
+let equal a b =
+  a.tos = b.tos && a.id = b.id && a.dont_fragment = b.dont_fragment && a.ttl = b.ttl
+  && Ip_proto.equal a.proto b.proto && Ipv4_addr.equal a.src b.src
+  && Ipv4_addr.equal a.dst b.dst
+
+let pp ppf t =
+  Fmt.pf ppf "ip %a -> %a %a ttl=%d" Ipv4_addr.pp t.src Ipv4_addr.pp t.dst Ip_proto.pp
+    t.proto t.ttl

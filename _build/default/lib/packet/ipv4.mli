@@ -1,0 +1,35 @@
+(** IPv4 headers (no options, no fragmentation). *)
+
+type t = {
+  tos : int;
+  id : int;
+  dont_fragment : bool;
+  ttl : int;
+  proto : Ip_proto.t;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+}
+
+exception Bad_header of string
+
+val header_size : int
+
+val make :
+  ?tos:int ->
+  ?id:int ->
+  ?dont_fragment:bool ->
+  ?ttl:int ->
+  proto:Ip_proto.t ->
+  src:Ipv4_addr.t ->
+  dst:Ipv4_addr.t ->
+  unit ->
+  t
+
+val encode : t -> bytes -> bytes
+(** [encode t payload] builds a checksummed packet. *)
+
+val decode : bytes -> t * bytes
+(** Parses and verifies a packet; raises {!Bad_header} on malformed input. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

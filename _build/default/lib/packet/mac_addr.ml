@@ -1,0 +1,44 @@
+(* 48-bit Ethernet MAC addresses, stored as an int (fits in 63-bit OCaml ints). *)
+
+type t = int
+
+let broadcast = 0xffffffffffff
+
+let of_int i =
+  if i < 0 || i > broadcast then invalid_arg "Mac_addr.of_int";
+  i
+
+let to_int t = t
+
+(* Locally administered unicast addresses for simulated NICs. *)
+let make ~device ~port = 0x020000000000 lor ((device land 0xffff) lsl 8) lor (port land 0xff)
+
+let is_broadcast t = t = broadcast
+let is_multicast t = t land 0x010000000000 <> 0
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+let hash (t : t) = Hashtbl.hash t
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((t lsr 40) land 0xff) ((t lsr 32) land 0xff) ((t lsr 24) land 0xff)
+    ((t lsr 16) land 0xff) ((t lsr 8) land 0xff) (t land 0xff)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+      let h x = int_of_string ("0x" ^ x) in
+      (h a lsl 40) lor (h b lsl 32) lor (h c lsl 24) lor (h d lsl 16) lor (h e lsl 8) lor h f
+  | _ -> invalid_arg "Mac_addr.of_string"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let write w t =
+  Cursor.w16 w ((t lsr 32) land 0xffff);
+  Cursor.w32 w (Int32.of_int (t land 0xffffffff))
+
+let read r =
+  let hi = Cursor.u16 r in
+  let lo = Cursor.u32 r in
+  (hi lsl 32) lor (Int32.to_int lo land 0xffffffff)

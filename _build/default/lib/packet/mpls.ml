@@ -1,0 +1,51 @@
+(* MPLS label-stack entries (RFC 3032). A packet carries a non-empty stack;
+   the bottom entry has the S bit set. *)
+
+type entry = { label : int; tc : int; ttl : int }
+
+type t = entry list
+
+exception Bad_header of string
+
+let entry ?(tc = 0) ?(ttl = 64) label =
+  if label < 0 || label > 0xfffff then invalid_arg "Mpls.entry";
+  { label; tc; ttl }
+
+let entry_size = 4
+
+let write_entry w { label; tc; ttl } ~bottom =
+  let v =
+    Int32.logor
+      (Int32.shift_left (Int32.of_int label) 12)
+      (Int32.of_int (((tc land 7) lsl 9) lor (if bottom then 1 lsl 8 else 0) lor (ttl land 0xff)))
+  in
+  Cursor.w32 w v
+
+let encode stack payload =
+  if stack = [] then invalid_arg "Mpls.encode: empty stack";
+  let w = Cursor.writer () in
+  let n = List.length stack in
+  List.iteri (fun i e -> write_entry w e ~bottom:(i = n - 1)) stack;
+  Cursor.wbytes w payload;
+  Cursor.contents w
+
+let decode buf =
+  let r = Cursor.reader buf in
+  let rec loop acc =
+    if Cursor.remaining r < entry_size then raise (Bad_header "truncated");
+    let v = Cursor.u32 r in
+    let label = Int32.to_int (Int32.shift_right_logical v 12) land 0xfffff in
+    let tc = Int32.to_int (Int32.shift_right_logical v 9) land 7 in
+    let bottom = Int32.logand v 0x100l <> 0l in
+    let ttl = Int32.to_int v land 0xff in
+    let acc = { label; tc; ttl } :: acc in
+    if bottom then List.rev acc else loop acc
+  in
+  let stack = loop [] in
+  (stack, Cursor.rest r)
+
+let equal_entry a b = a.label = b.label && a.tc = b.tc && a.ttl = b.ttl
+let equal a b = List.length a = List.length b && List.for_all2 equal_entry a b
+
+let pp_entry ppf e = Fmt.pf ppf "%d(ttl %d)" e.label e.ttl
+let pp ppf t = Fmt.pf ppf "mpls [%a]" (Fmt.list ~sep:Fmt.comma pp_entry) t

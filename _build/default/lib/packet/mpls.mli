@@ -1,0 +1,15 @@
+(** MPLS label stacks (RFC 3032). *)
+
+type entry = { label : int; tc : int; ttl : int }
+type t = entry list
+
+exception Bad_header of string
+
+val entry : ?tc:int -> ?ttl:int -> int -> entry
+val entry_size : int
+val encode : t -> bytes -> bytes
+val decode : bytes -> t * bytes
+val equal_entry : entry -> entry -> bool
+val equal : t -> t -> bool
+val pp_entry : entry Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,49 @@
+(* UDP headers. The checksum is computed over the IPv4 pseudo-header as
+   required by RFC 768; callers supply the addresses. *)
+
+type t = { src_port : int; dst_port : int }
+
+exception Bad_header of string
+
+let header_size = 8
+
+let pseudo_sum ~src ~dst len =
+  let w = Cursor.writer () in
+  Ipv4_addr.write w src;
+  Ipv4_addr.write w dst;
+  Cursor.w8 w 0;
+  Cursor.w8 w (Ip_proto.to_int Ip_proto.Udp);
+  Cursor.w16 w len;
+  let b = Cursor.contents w in
+  Inet_csum.sum_bytes 0 b 0 (Bytes.length b)
+
+let encode ~src ~dst t payload =
+  let len = header_size + Bytes.length payload in
+  let w = Cursor.writer () in
+  Cursor.w16 w t.src_port;
+  Cursor.w16 w t.dst_port;
+  Cursor.w16 w len;
+  Cursor.w16 w 0;
+  Cursor.wbytes w payload;
+  let buf = Cursor.contents w in
+  let csum = Inet_csum.checksum ~init:(pseudo_sum ~src ~dst len) buf 0 len in
+  let csum = if csum = 0 then 0xffff else csum in
+  Cursor.patch_u16 w 6 csum;
+  Cursor.contents w
+
+let decode ~src ~dst buf =
+  let r = Cursor.reader buf in
+  if Cursor.remaining r < header_size then raise (Bad_header "truncated");
+  let src_port = Cursor.u16 r in
+  let dst_port = Cursor.u16 r in
+  let len = Cursor.u16 r in
+  if len < header_size || len > Bytes.length buf then raise (Bad_header "bad length");
+  let csum = Cursor.u16 r in
+  if csum <> 0 then begin
+    let sum = Inet_csum.sum_bytes (pseudo_sum ~src ~dst len) buf 0 len in
+    if Inet_csum.fold sum <> 0xffff then raise (Bad_header "bad checksum")
+  end;
+  ({ src_port; dst_port }, Bytes.sub buf header_size (len - header_size))
+
+let equal a b = a.src_port = b.src_port && a.dst_port = b.dst_port
+let pp ppf t = Fmt.pf ppf "udp %d -> %d" t.src_port t.dst_port

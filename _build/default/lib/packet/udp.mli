@@ -1,0 +1,11 @@
+(** UDP headers with pseudo-header checksums. *)
+
+type t = { src_port : int; dst_port : int }
+
+exception Bad_header of string
+
+val header_size : int
+val encode : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> t -> bytes -> bytes
+val decode : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> bytes -> t * bytes
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,10 @@
+(** 802.1Q VLAN tags. *)
+
+type t = { pcp : int; dei : bool; vid : int; inner : Ethertype.t }
+
+val make : ?pcp:int -> ?dei:bool -> vid:int -> Ethertype.t -> t
+val size : int
+val write : Cursor.w -> t -> unit
+val read : Cursor.r -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

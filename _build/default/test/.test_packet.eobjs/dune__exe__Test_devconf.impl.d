@@ -1,0 +1,1 @@
+test/test_devconf.ml: Alcotest Buffer Catos_cli Classify Counters Devconf Device Linux_cli List Metrics Net Netsim Option Packet Paper_scripts Shell String Testbeds

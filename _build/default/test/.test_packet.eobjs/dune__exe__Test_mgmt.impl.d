@@ -1,0 +1,1 @@
+test/test_mgmt.ml: Alcotest Array Bytes Channel Device Event_queue Frame List Mgmt Net Netsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_modules.ml: Abstraction Agent Alcotest Bytes Conman Gre_module Ids Ip_module List Module_impl Mpls_module Netsim Nm Option Packet Path_finder Primitive Scenarios String Wire

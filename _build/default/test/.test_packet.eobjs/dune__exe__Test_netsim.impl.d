@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bytes Counters Datapath Device Icmp Ip_proto Ipv4 Ipv4_addr Link List Net Netsim Packet Ping Prefix

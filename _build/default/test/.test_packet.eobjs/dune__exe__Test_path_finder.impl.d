@@ -1,0 +1,1 @@
+test/test_path_finder.ml: Alcotest Conman Ids List Nm Path_finder Printf QCheck QCheck_alcotest Scenarios Topology

@@ -1,0 +1,195 @@
+(* Tests for the management channel: frame codec, out-of-band delivery, and
+   the 4D-style raw flooding channel (which must work with zero data-plane
+   configuration, across switches and routers, and terminate on loops). *)
+
+open Netsim
+open Mgmt
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_frame_roundtrip () =
+  let f =
+    { Frame.src_device = "id-A"; dst_device = "id-NM"; seq = 42; payload = Bytes.of_string "hi" }
+  in
+  check tbool "roundtrip" true (Frame.equal f (Frame.decode (Frame.encode f)))
+
+let test_frame_broadcast_roundtrip () =
+  let f =
+    { Frame.src_device = "x"; dst_device = Frame.broadcast; seq = 0; payload = Bytes.empty }
+  in
+  check tbool "roundtrip" true (Frame.equal f (Frame.decode (Frame.encode f)))
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* src = string_size (int_bound 20)
+         and* dst = string_size (int_bound 20)
+         and* seq = int_bound 100000
+         and* payload = map Bytes.of_string (string_size (int_bound 200)) in
+         return (src, dst, seq, payload)))
+    (fun (src_device, dst_device, seq, payload) ->
+      let f = { Frame.src_device; dst_device; seq; payload } in
+      Frame.equal f (Frame.decode (Frame.encode f)))
+
+let test_oob_unicast_and_broadcast () =
+  let eq = Event_queue.create () in
+  let chan = Channel.Oob.create eq in
+  let got_a = ref [] and got_b = ref [] in
+  Channel.subscribe chan ~device_id:"a" (fun ~src p -> got_a := (src, Bytes.to_string p) :: !got_a);
+  Channel.subscribe chan ~device_id:"b" (fun ~src p -> got_b := (src, Bytes.to_string p) :: !got_b);
+  Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string "hello");
+  Channel.send chan ~src:"b" ~dst:Frame.broadcast (Bytes.of_string "all");
+  let _ = Event_queue.run eq in
+  check tbool "b got unicast" true (List.mem ("a", "hello") !got_b);
+  check tbool "a got broadcast" true (List.mem ("b", "all") !got_a);
+  check tbool "b did not self-deliver" false (List.mem ("b", "all") !got_b)
+
+(* Line topology: h1 - sw - r - h2, where sw is a switch and r a router with
+   NO configuration at all. The raw channel must still deliver h1 -> h2. *)
+let raw_line () =
+  let net = Net.create () in
+  let chan, attach = Channel.Raw.create () in
+  let h1 = Net.add_device net ~id:"id-h1" ~name:"h1" in
+  ignore (Device.add_port h1);
+  let sw = Net.add_device net ~switching:true ~id:"id-sw" ~name:"sw" in
+  ignore (Device.add_port sw);
+  ignore (Device.add_port sw);
+  let r = Net.add_device net ~id:"id-r" ~name:"r" in
+  ignore (Device.add_port r);
+  ignore (Device.add_port r);
+  let h2 = Net.add_device net ~id:"id-h2" ~name:"h2" in
+  ignore (Device.add_port h2);
+  let _ = Net.connect net (h1, 0) (sw, 0) in
+  let _ = Net.connect net (sw, 1) (r, 0) in
+  let _ = Net.connect net (r, 1) (h2, 0) in
+  List.iter attach [ h1; sw; r; h2 ];
+  (net, chan, h1, h2)
+
+let test_raw_flooding_delivery () =
+  let net, chan, _, _ = raw_line () in
+  let got = ref None in
+  Channel.subscribe chan ~device_id:"id-h2" (fun ~src p -> got := Some (src, Bytes.to_string p));
+  Channel.send chan ~src:"id-h1" ~dst:"id-h2" (Bytes.of_string "showPotential");
+  let _ = Net.run net in
+  check tbool "delivered without any configuration" true (!got = Some ("id-h1", "showPotential"))
+
+let test_raw_broadcast_reaches_all () =
+  let net, chan, _, _ = raw_line () in
+  let seen = ref [] in
+  List.iter
+    (fun id -> Channel.subscribe chan ~device_id:id (fun ~src:_ _ -> seen := id :: !seen))
+    [ "id-h1"; "id-sw"; "id-r"; "id-h2" ];
+  Channel.send chan ~src:"id-h1" ~dst:Frame.broadcast (Bytes.of_string "hello-nm");
+  let _ = Net.run net in
+  List.iter
+    (fun id -> check tbool (id ^ " saw broadcast") true (List.mem id !seen))
+    [ "id-sw"; "id-r"; "id-h2" ];
+  check tbool "source did not self-deliver" false (List.mem "id-h1" !seen)
+
+let test_raw_loop_terminates () =
+  (* Ring of three devices: flooding with per-source dedup must terminate. *)
+  let net = Net.create () in
+  let chan, attach = Channel.Raw.create () in
+  let mk name =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    ignore (Device.add_port d);
+    d
+  in
+  let a = mk "a" and b = mk "b" and c = mk "c" in
+  let _ = Net.connect net (a, 1) (b, 0) in
+  let _ = Net.connect net (b, 1) (c, 0) in
+  let _ = Net.connect net (c, 1) (a, 0) in
+  List.iter attach [ a; b; c ];
+  let got = ref 0 in
+  Channel.subscribe chan ~device_id:"id-c" (fun ~src:_ _ -> incr got);
+  Channel.send chan ~src:"id-a" ~dst:"id-c" (Bytes.of_string "x");
+  let events = Net.run ~max_events:100_000 net in
+  check tbool "terminated" true (events < 100_000);
+  check tint "delivered exactly once" 1 !got
+
+let test_raw_independent_of_data_plane () =
+  (* Flooding still works when IP forwarding is off everywhere and no
+     addresses exist — the channel the NM bootstraps from. *)
+  let net, chan, h1, _ = raw_line () in
+  check tint "no addresses" 0 (List.length (Device.local_addrs h1) - 1);
+  let got = ref false in
+  Channel.subscribe chan ~device_id:"id-h2" (fun ~src:_ _ -> got := true);
+  Channel.send chan ~src:"id-h1" ~dst:"id-h2" (Bytes.of_string "boot");
+  let _ = Net.run net in
+  check tbool "delivered" true !got
+
+let test_raw_stats_count () =
+  let net, chan, _, _ = raw_line () in
+  Channel.subscribe chan ~device_id:"id-h2" (fun ~src:_ _ -> ());
+  Channel.send chan ~src:"id-h1" ~dst:"id-h2" (Bytes.of_string "m");
+  let _ = Net.run net in
+  check tint "sent" 1 (Channel.stats chan).Channel.frames_sent;
+  check tint "delivered" 1 (Channel.stats chan).Channel.frames_delivered
+
+(* flooding delivers on arbitrary random tree topologies with mixed
+   switches and routers, all unconfigured *)
+let prop_raw_delivery_on_random_trees =
+  QCheck.Test.make ~name:"raw channel delivers across random trees" ~count:30
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 10) (int_bound 1000)))
+    (fun (n, seed) ->
+      let net = Net.create () in
+      let chan, attach = Channel.Raw.create () in
+      let devs =
+        Array.init n (fun i ->
+            let switching = (seed + i) mod 3 = 0 in
+            let d =
+              Net.add_device net ~switching ~id:(Printf.sprintf "id-%d" i)
+                ~name:(Printf.sprintf "d%d" i)
+            in
+            (* enough ports for a tree plus slack *)
+            for _ = 0 to n do
+              ignore (Device.add_port d)
+            done;
+            d)
+      in
+      (* deterministic pseudo-random tree: node i attaches to some j < i *)
+      let next_port = Array.make n 0 in
+      for i = 1 to n - 1 do
+        let parent = (seed * (i + 7)) mod i in
+        let pp = next_port.(parent) in
+        next_port.(parent) <- pp + 1;
+        let pi = next_port.(i) in
+        next_port.(i) <- pi + 1;
+        ignore (Net.connect net (devs.(parent), pp) (devs.(i), pi))
+      done;
+      Array.iter attach devs;
+      let got = ref false in
+      Channel.subscribe chan
+        ~device_id:(Printf.sprintf "id-%d" (n - 1))
+        (fun ~src:_ _ -> got := true);
+      Channel.send chan ~src:"id-0" ~dst:(Printf.sprintf "id-%d" (n - 1)) (Bytes.of_string "m");
+      let events = Net.run ~max_events:1_000_000 net in
+      events < 1_000_000 && !got)
+
+let () =
+  Alcotest.run "mgmt"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "broadcast roundtrip" `Quick test_frame_broadcast_roundtrip;
+          QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+        ] );
+      ( "oob",
+        [ Alcotest.test_case "unicast + broadcast" `Quick test_oob_unicast_and_broadcast ] );
+      ( "raw",
+        [
+          Alcotest.test_case "flooding delivery" `Quick test_raw_flooding_delivery;
+          Alcotest.test_case "broadcast reaches all" `Quick test_raw_broadcast_reaches_all;
+          Alcotest.test_case "loops terminate" `Quick test_raw_loop_terminates;
+          Alcotest.test_case "independent of data plane" `Quick test_raw_independent_of_data_plane;
+          Alcotest.test_case "stats" `Quick test_raw_stats_count;
+          QCheck_alcotest.to_alcotest prop_raw_delivery_on_random_trees;
+        ] );
+    ]

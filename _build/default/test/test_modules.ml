@@ -1,0 +1,211 @@
+(* Unit tests for the protocol modules and the management agent: exact
+   abstraction contents (Table III), field queries, parameter negotiation
+   outcomes, error behaviour of the agent, and self-tests. *)
+
+open Conman
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+(* --- abstractions (what showPotential returns) ------------------------------- *)
+
+let test_gre_abstraction_table3 () =
+  let a = Gre_module.abstraction () in
+  check tstr "name" "GRE" a.Abstraction.name;
+  (match a.Abstraction.up with
+  | Some s ->
+      check tbool "up connectable = {IPv4}" true (s.Abstraction.connectable = [ "IP" ]);
+      check tbool "up pipe has a dependency (trade-offs)" true (s.Abstraction.dependencies <> [])
+  | None -> Alcotest.fail "GRE must accept up pipes");
+  (match a.Abstraction.down with
+  | Some s -> check tbool "down connectable = {IPv4}" true (s.Abstraction.connectable = [ "IP" ])
+  | None -> Alcotest.fail "GRE must accept down pipes");
+  check tbool "peerable = {GRE}" true (a.Abstraction.peerable = [ "GRE" ]);
+  check tbool "switch = [up=>down],[down=>up]" true
+    (List.sort compare a.Abstraction.switch
+    = List.sort compare [ Abstraction.Up_down; Abstraction.Down_up ]);
+  check tint "two trade-offs" 2 (List.length a.Abstraction.perf_tradeoffs);
+  check tbool "no filtering" true (a.Abstraction.filterable = []);
+  check tbool "no phy pipes" true (a.Abstraction.physical = [])
+
+let test_ip_abstraction () =
+  let a = Ip_module.abstraction () in
+  check tbool "up = {IP, GRE, ESP}" true
+    ((Option.get a.Abstraction.up).Abstraction.connectable = [ "IP"; "GRE"; "ESP" ]);
+  check tbool "down = {IP, GRE, ESP, MPLS, ETH}" true
+    ((Option.get a.Abstraction.down).Abstraction.connectable
+    = [ "IP"; "GRE"; "ESP"; "MPLS"; "ETH" ]);
+  check tint "four switch kinds" 4 (List.length a.Abstraction.switch);
+  check tbool "filterable" true (a.Abstraction.filterable <> [])
+
+let test_mpls_abstraction () =
+  let a = Mpls_module.abstraction () in
+  check tbool "advertises fast forwarding" true a.Abstraction.fast_forwarding;
+  check tbool "down=>down transit" true (Abstraction.can_switch a Abstraction.Down_down)
+
+(* --- module behaviour within a built scenario ---------------------------------- *)
+
+let canonical_gre = "a, g, l, h, b, c, i, d, e, j, n, k, f"
+
+let configured_gre () =
+  let v = Scenarios.build_vpn () in
+  let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+  let p = List.find (fun p -> Path_finder.signature p = canonical_gre) paths in
+  let script = Nm.configure_path v.Scenarios.nm v.Scenarios.goal p in
+  (v, p, script)
+
+let test_gre_negotiated_keys_distinct () =
+  (* each direction uses its own key, and both ends mirror them *)
+  let v, _, _ = configured_gre () in
+  let tun dev name =
+    match (Netsim.Device.find_iface_exn dev name).Netsim.Device.if_kind with
+    | Netsim.Device.Tun t -> t
+    | _ -> Alcotest.fail "not a tunnel"
+  in
+  let ta = tun v.Scenarios.tb.Netsim.Testbeds.ra "gre-P1-P2" in
+  check tbool "ikey <> okey" true (ta.Netsim.Device.t_ikey <> ta.Netsim.Device.t_okey);
+  check tbool "keys assigned" true (ta.Netsim.Device.t_ikey <> None)
+
+let test_gre_exact_device_command () =
+  (* the module emits the same device-level state the paper's command shows *)
+  let v, _, _ = configured_gre () in
+  let iface = Netsim.Device.find_iface_exn v.Scenarios.tb.Netsim.Testbeds.ra "gre-P1-P2" in
+  match iface.Netsim.Device.if_kind with
+  | Netsim.Device.Tun t ->
+      check tstr "local" "204.9.168.1" (Packet.Ipv4_addr.to_string t.Netsim.Device.t_local);
+      check tstr "remote" "204.9.169.1" (Packet.Ipv4_addr.to_string t.Netsim.Device.t_remote)
+  | _ -> Alcotest.fail "not a tunnel"
+
+let test_eth_fields () =
+  let v = Scenarios.build_vpn () in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  let eth_a =
+    List.find
+      (fun m -> Ids.equal m.Module_impl.mref (Ids.v "ETH" "a" "id-A"))
+      (Agent.modules agent)
+  in
+  check tbool "iface" true (eth_a.Module_impl.fields "iface" = Some "eth1");
+  check tbool "mac present" true (eth_a.Module_impl.fields "mac" <> None);
+  check tbool "unknown field" true (eth_a.Module_impl.fields "frobnicate" = None)
+
+let test_ip_fields () =
+  let v = Scenarios.build_vpn () in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  let h =
+    List.find (fun m -> Ids.equal m.Module_impl.mref (Ids.v "IP" "h" "id-A")) (Agent.modules agent)
+  in
+  check tbool "address" true (h.Module_impl.fields "address" = Some "204.9.168.1");
+  check tbool "domain" true (h.Module_impl.fields "domain" = Some "ISP")
+
+let test_mpls_ftn_exposed () =
+  let v = Scenarios.build_vpn () in
+  let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+  let p = List.find Scenarios.pure_mpls paths in
+  let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal p in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  let o =
+    List.find
+      (fun m -> Ids.equal m.Module_impl.mref (Ids.v "MPLS" "o" "id-A"))
+      (Agent.modules agent)
+  in
+  check tbool "ftn key exposed for the up pipe" true (o.Module_impl.fields "ftn-key:P1" <> None);
+  check tbool "ftn via exposed" true (o.Module_impl.fields "ftn-via:P1" = Some "204.9.168.2")
+
+let test_vlan_vid_allocation () =
+  let v = Scenarios.build_vlan () in
+  (match
+     Nm.achieve_l2 v.Scenarios.vnm ~scope:v.Scenarios.vscope
+       ~from_eth:(Ids.v "ETH" "a" "id-SwA") ~to_eth:(Ids.v "ETH" "c" "id-SwC")
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  (* all three switches agreed on the same vid *)
+  List.iter
+    (fun (name, agent) ->
+      let vlan =
+        List.find (fun m -> m.Module_impl.mref.Ids.name = "VLAN") (Agent.modules agent)
+      in
+      check tbool (name ^ " vid = 22") true (vlan.Module_impl.fields "vid" = Some "22"))
+    v.Scenarios.vagents
+
+(* --- the agent ------------------------------------------------------------------ *)
+
+let test_agent_unknown_module_bundle_err () =
+  let v = Scenarios.build_vpn () in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  Agent.handle agent ~src:Scenarios.nm_station_id
+    (Wire.encode
+       (Wire.Bundle
+          {
+            req = 7;
+            cmds =
+              [
+                Primitive.Create_switch
+                  { owner = Ids.v "FOO" "zz" "id-A"; rule = Primitive.Bidi ("P1", "P2") };
+              ];
+            annex = Wire.empty_annex;
+          }));
+  ignore (Netsim.Net.run v.Scenarios.tb.Netsim.Testbeds.vpn_net);
+  check tbool "bundle error reported to NM" true
+    (List.exists (fun (_, e) ->
+         let has_sub sub s =
+           let n = String.length sub and m = String.length s in
+           let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub "no module" e)
+       (Nm.errors v.Scenarios.nm))
+
+let test_agent_show_actual_roundtrip () =
+  let v = Scenarios.build_vpn () in
+  match Nm.show_actual v.Scenarios.nm "id-B" with
+  | Some state -> check tint "B reports 4 modules" 4 (List.length state)
+  | None -> Alcotest.fail "no showActual response"
+
+let test_agent_malformed_message_ignored () =
+  let v = Scenarios.build_vpn () in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  (* must not raise *)
+  Agent.handle agent ~src:"nowhere" (Bytes.of_string "((((not a wire message");
+  check tbool "survives garbage" true true
+
+let test_self_test_unknown_module () =
+  let v = Scenarios.build_vpn () in
+  let ok, detail = Nm.self_test v.Scenarios.nm (Ids.v "FOO" "zz" "id-A") in
+  check tbool "fails" false ok;
+  check tstr "reason" "no such module" detail
+
+let test_self_test_unreachable_device () =
+  let v = Scenarios.build_vpn () in
+  let ok, _ = Nm.self_test v.Scenarios.nm (Ids.v "IP" "zz" "id-NOPE") in
+  check tbool "no response treated as failure" false ok
+
+let () =
+  Alcotest.run "modules"
+    [
+      ( "abstractions",
+        [
+          Alcotest.test_case "GRE (table 3)" `Quick test_gre_abstraction_table3;
+          Alcotest.test_case "IP" `Quick test_ip_abstraction;
+          Alcotest.test_case "MPLS" `Quick test_mpls_abstraction;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "GRE key negotiation" `Quick test_gre_negotiated_keys_distinct;
+          Alcotest.test_case "GRE device command" `Quick test_gre_exact_device_command;
+          Alcotest.test_case "ETH fields" `Quick test_eth_fields;
+          Alcotest.test_case "IP fields" `Quick test_ip_fields;
+          Alcotest.test_case "MPLS FTN exposure" `Quick test_mpls_ftn_exposed;
+          Alcotest.test_case "VLAN vid agreement" `Quick test_vlan_vid_allocation;
+        ] );
+      ( "agent",
+        [
+          Alcotest.test_case "unknown module -> Bundle_err" `Quick test_agent_unknown_module_bundle_err;
+          Alcotest.test_case "showActual roundtrip" `Quick test_agent_show_actual_roundtrip;
+          Alcotest.test_case "malformed message ignored" `Quick test_agent_malformed_message_ignored;
+          Alcotest.test_case "self-test: unknown module" `Quick test_self_test_unknown_module;
+          Alcotest.test_case "self-test: unreachable device" `Quick test_self_test_unreachable_device;
+        ] );
+    ]

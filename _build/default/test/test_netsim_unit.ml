@@ -1,0 +1,372 @@
+(* Unit tests for the simulator's infrastructure: event queue, links,
+   counters, tracing, ARP corner cases, UDP sockets, routing table
+   internals and tunnel validation paths. *)
+
+open Packet
+open Netsim
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let ip = Ipv4_addr.of_string
+let pfx = Prefix.of_string
+
+(* --- event queue -------------------------------------------------------------- *)
+
+let test_eq_fifo_at_same_time () =
+  let eq = Event_queue.create () in
+  let order = ref [] in
+  List.iter
+    (fun i -> Event_queue.schedule eq ~delay_ns:100L (fun () -> order := i :: !order))
+    [ 1; 2; 3 ];
+  let _ = Event_queue.run eq in
+  check tbool "fifo order" true (List.rev !order = [ 1; 2; 3 ])
+
+let test_eq_time_ordering () =
+  let eq = Event_queue.create () in
+  let order = ref [] in
+  Event_queue.schedule eq ~delay_ns:300L (fun () -> order := "late" :: !order);
+  Event_queue.schedule eq ~delay_ns:100L (fun () ->
+      order := "early" :: !order;
+      Event_queue.schedule eq ~delay_ns:100L (fun () -> order := "nested" :: !order));
+  let n = Event_queue.run eq in
+  check tint "three events" 3 n;
+  check tbool "order" true (List.rev !order = [ "early"; "nested"; "late" ]);
+  check tbool "clock advanced" true (Event_queue.now eq = 300L)
+
+let test_eq_budget () =
+  let eq = Event_queue.create () in
+  let rec forever () = Event_queue.schedule eq ~delay_ns:1L forever in
+  forever ();
+  check tbool "budget guard" true
+    (match Event_queue.run ~max_events:1000 eq with
+    | exception Event_queue.Budget_exhausted -> true
+    | _ -> false)
+
+let test_eq_negative_delay_rejected () =
+  let eq = Event_queue.create () in
+  check tbool "invalid arg" true
+    (match Event_queue.schedule eq ~delay_ns:(-1L) (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- links ---------------------------------------------------------------------- *)
+
+let test_link_mtu_drop () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment ~mtu:100 eq in
+  let a = Link.attach seg and b = Link.attach seg in
+  let got = ref 0 in
+  Link.set_rx b (fun _ -> incr got);
+  Link.send a (Bytes.create 100);
+  Link.send a (Bytes.create 101);
+  let _ = Event_queue.run eq in
+  check tint "only the fitting frame" 1 !got;
+  check tint "drop counted" 1 (Link.dropped seg)
+
+let test_link_broadcast_segment () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment eq in
+  let a = Link.attach seg and b = Link.attach seg and c = Link.attach seg in
+  let got_b = ref 0 and got_c = ref 0 and got_a = ref 0 in
+  Link.set_rx a (fun _ -> incr got_a);
+  Link.set_rx b (fun _ -> incr got_b);
+  Link.set_rx c (fun _ -> incr got_c);
+  Link.send a (Bytes.create 10);
+  let _ = Event_queue.run eq in
+  check tint "b got it" 1 !got_b;
+  check tint "c got it" 1 !got_c;
+  check tint "no self delivery" 0 !got_a
+
+let test_link_cut_mid_flight () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment eq in
+  let a = Link.attach seg and b = Link.attach seg in
+  let got = ref 0 in
+  Link.set_rx b (fun _ -> incr got);
+  Link.send a (Bytes.create 10);
+  Link.cut seg;
+  let _ = Event_queue.run eq in
+  check tint "frame in flight dropped by cut" 0 !got
+
+(* --- counters and tracing -------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.incr c "x";
+  Counters.incr ~by:4 c "x";
+  Counters.incr c "y";
+  check tint "x" 5 (Counters.get c "x");
+  check tint "missing" 0 (Counters.get c "z");
+  check tint "two entries" 2 (List.length (Counters.to_list c));
+  Counters.reset c;
+  check tint "reset" 0 (Counters.get c "x")
+
+let test_trace_captures_signatures () =
+  let net = Net.create () in
+  let mk name addr =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    Device.add_addr d ~iface:"eth0" ~addr:(ip addr) ~prefix:(pfx "10.0.0.0/24");
+    d
+  in
+  let h1 = mk "h1" "10.0.0.1" and _h2 = mk "h2" "10.0.0.2" in
+  let _ = Net.connect net (h1, 0) (_h2, 0) in
+  Trace.with_trace (fun () ->
+      check tbool "ping" true (Ping.reachable net ~from:h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ()));
+  let events = Trace.get () in
+  check tbool "traced something" true (events <> []);
+  check tbool "icmp seen" true
+    (List.exists (fun e -> e.Trace.detail = "eth.ip.icmp") events);
+  check tbool "arp seen" true (List.exists (fun e -> e.Trace.detail = "eth.arp") events)
+
+let test_frame_signatures_layered () =
+  let inner =
+    Ipv4.encode
+      (Ipv4.make ~proto:Ip_proto.Udp ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ())
+      (Udp.encode ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") { Udp.src_port = 1; dst_port = 2 }
+         (Bytes.of_string "x"))
+  in
+  let mpls = Mpls.encode [ Mpls.entry 2001 ] inner in
+  let frame =
+    Ethernet.encode
+      { Ethernet.dst = Mac_addr.broadcast; src = Mac_addr.make ~device:1 ~port:0; ethertype = Ethertype.Mpls_unicast }
+      mpls
+  in
+  check tstr "mpls signature" "eth.mpls.ip.udp" (Frame.signature frame);
+  let tagged =
+    let w = Cursor.writer () in
+    Ethernet.write w
+      { Ethernet.dst = Mac_addr.broadcast; src = Mac_addr.make ~device:1 ~port:0; ethertype = Ethertype.Vlan };
+    Vlan.write w (Vlan.make ~vid:22 Ethertype.Ipv4);
+    Cursor.wbytes w inner;
+    Cursor.contents w
+  in
+  check tstr "vlan signature" "eth.vlan.ip.udp" (Frame.signature tagged)
+
+(* --- ARP corner cases -------------------------------------------------------------- *)
+
+let two_hosts () =
+  let net = Net.create () in
+  let mk name addr =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    Device.add_addr d ~iface:"eth0" ~addr:(ip addr) ~prefix:(pfx "10.0.0.0/24");
+    d
+  in
+  let h1 = mk "h1" "10.0.0.1" and h2 = mk "h2" "10.0.0.2" in
+  let _ = Net.connect net (h1, 0) (h2, 0) in
+  (net, h1, h2)
+
+let test_arp_cache_populated () =
+  let net, h1, h2 = two_hosts () in
+  check tbool "ping" true (Ping.reachable net ~from:h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ());
+  check tbool "h1 cached h2" true (Hashtbl.mem h1.Device.arp.Device.arp_cache (ip "10.0.0.2"));
+  (* the request was broadcast, so h2 learnt h1 opportunistically *)
+  check tbool "h2 learnt h1" true (Hashtbl.mem h2.Device.arp.Device.arp_cache (ip "10.0.0.1"))
+
+let test_arp_no_reply_for_foreign_address () =
+  let net, h1, _ = two_hosts () in
+  (* h1 asks for an address nobody owns; the ping can never complete *)
+  check tbool "no reply" false
+    (Ping.reachable net ~from:h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.99") ());
+  check tbool "request went out" true (Counters.get h1.Device.dev_counters "arp_requests" > 0)
+
+let test_proxy_arp_disabled_by_default () =
+  let net, h1, h2 = two_hosts () in
+  (* h2 routes 10.0.9.0/24 but proxy_arp is off: it must NOT answer for it *)
+  Device.add_route h2
+    { Device.rt_dst = pfx "10.0.9.0/24"; rt_via = None; rt_dev = Some "eth0"; rt_mpls = None };
+  h2.Device.ip_forward <- true;
+  Device.add_route h1
+    { Device.rt_dst = pfx "10.0.9.0/24"; rt_via = None; rt_dev = Some "eth0"; rt_mpls = None };
+  check tbool "no proxy reply" false
+    (Ping.reachable net ~from:h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.9.1") ())
+
+(* --- ICMP time exceeded -------------------------------------------------------------- *)
+
+let test_time_exceeded_reaches_sender () =
+  let net = Net.create () in
+  let h1 = Net.add_device net ~id:"id-h1" ~name:"h1" in
+  ignore (Device.add_port h1);
+  Device.add_addr h1 ~iface:"eth0" ~addr:(ip "10.0.1.2") ~prefix:(pfx "10.0.1.0/24");
+  let r = Net.add_device net ~id:"id-r" ~name:"r" in
+  ignore (Device.add_port r);
+  ignore (Device.add_port r);
+  r.Device.ip_forward <- true;
+  Device.add_addr r ~iface:"eth0" ~addr:(ip "10.0.1.1") ~prefix:(pfx "10.0.1.0/24");
+  Device.add_addr r ~iface:"eth1" ~addr:(ip "10.0.2.1") ~prefix:(pfx "10.0.2.0/24");
+  let _ = Net.connect net (h1, 0) (r, 0) in
+  Device.add_route h1
+    { Device.rt_dst = pfx "0.0.0.0/0"; rt_via = Some (ip "10.0.1.1"); rt_dev = None; rt_mpls = None };
+  let got_te = ref false in
+  h1.Device.icmp_hook <-
+    Some (fun _ msg -> match msg with Icmp.Time_exceeded -> got_te := true | _ -> ());
+  Datapath.ip_send h1
+    (Ipv4.make ~ttl:1 ~proto:Ip_proto.Icmp ~src:(ip "10.0.1.2") ~dst:(ip "10.0.2.9") ())
+    (Icmp.encode (Icmp.Echo_request { id = 1; seq = 1 }) Bytes.empty);
+  let _ = Net.run net in
+  check tbool "time-exceeded delivered to sender" true !got_te
+
+(* --- UDP sockets ------------------------------------------------------------------------ *)
+
+let test_udp_sockets () =
+  let net, h1, h2 = two_hosts () in
+  let got = ref None in
+  Device.udp_bind h2 ~port:53 (fun ~src ~src_port data ->
+      got := Some (Ipv4_addr.to_string src, src_port, Bytes.to_string data));
+  Datapath.udp_send h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:9999 ~dst_port:53
+    (Bytes.of_string "query");
+  let _ = Net.run net in
+  check tbool "delivered" true (!got = Some ("10.0.0.1", 9999, "query"));
+  (* unbound port: counted, not delivered *)
+  Device.udp_unbind h2 ~port:53;
+  Datapath.udp_send h1 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:9999 ~dst_port:53
+    (Bytes.of_string "query2");
+  let _ = Net.run net in
+  check tbool "no-sock counted" true (Counters.get h2.Device.dev_counters "udp_no_sock" > 0)
+
+(* --- routing internals -------------------------------------------------------------------- *)
+
+let test_lpm_longest_prefix_wins () =
+  let routes =
+    [
+      { Device.rt_dst = pfx "10.0.0.0/8"; rt_via = Some (ip "1.1.1.1"); rt_dev = None; rt_mpls = None };
+      { Device.rt_dst = pfx "10.0.2.0/24"; rt_via = Some (ip "2.2.2.2"); rt_dev = None; rt_mpls = None };
+      { Device.rt_dst = pfx "0.0.0.0/0"; rt_via = Some (ip "3.3.3.3"); rt_dev = None; rt_mpls = None };
+    ]
+  in
+  (match Device.lpm routes (ip "10.0.2.7") with
+  | Some r -> check tbool "most specific" true (r.Device.rt_via = Some (ip "2.2.2.2"))
+  | None -> Alcotest.fail "no route");
+  match Device.lpm routes (ip "192.168.0.1") with
+  | Some r -> check tbool "default" true (r.Device.rt_via = Some (ip "3.3.3.3"))
+  | None -> Alcotest.fail "no default"
+
+let test_rule_priority_order () =
+  let eq = Event_queue.create () in
+  let d = Device.create ~eq ~id:"id-x" ~name:"x" () in
+  ignore (Device.add_port ~name:"eth0" d);
+  Device.register_table d "hi";
+  Device.register_table d "lo";
+  Device.add_route d ~table:"hi"
+    { Device.rt_dst = pfx "0.0.0.0/0"; rt_via = None; rt_dev = Some "eth0"; rt_mpls = None };
+  Device.add_route d ~table:"lo"
+    { Device.rt_dst = pfx "0.0.0.0/0"; rt_via = None; rt_dev = Some "lo"; rt_mpls = None };
+  Device.add_rule d { Device.rl_sel = Device.Match_all; rl_table = "lo"; rl_prio = 200 };
+  Device.add_rule d { Device.rl_sel = Device.Match_all; rl_table = "hi"; rl_prio = 50 };
+  match Device.lookup_route d (ip "9.9.9.9") with
+  | Some r -> check tbool "low prio number wins" true (r.Device.rt_dev = Some "eth0")
+  | None -> Alcotest.fail "no route"
+
+let test_register_table_idempotent () =
+  let eq = Event_queue.create () in
+  let d = Device.create ~eq ~id:"id-x" ~name:"x" () in
+  Device.register_table d "t";
+  Device.register_table d "t";
+  check tint "one entry" 1
+    (List.length (List.filter (( = ) "t") d.Device.rt_table_names))
+
+(* --- tunnel validation --------------------------------------------------------------------- *)
+
+let test_gre_checksum_required () =
+  (* receiver demands checksums (icsum); sender does not add them: drop *)
+  let net = Net.create () in
+  let mk name addr =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    Device.add_addr d ~iface:"eth0" ~addr:(ip addr) ~prefix:(pfx "192.168.0.0/30");
+    Device.load_module d "ip_gre";
+    d.Device.ip_forward <- true;
+    d
+  in
+  let r1 = mk "r1" "192.168.0.1" and r2 = mk "r2" "192.168.0.2" in
+  let _ = Net.connect net (r1, 0) (r2, 0) in
+  let t1 =
+    Device.add_tunnel r1 ~name:"g" ~mode:Device.Gre_mode ~local:(ip "192.168.0.1")
+      ~remote:(ip "192.168.0.2") ()
+  in
+  let t2 =
+    Device.add_tunnel r2 ~name:"g" ~mode:Device.Gre_mode ~local:(ip "192.168.0.2")
+      ~remote:(ip "192.168.0.1") ()
+  in
+  t1.Device.if_up <- true;
+  t2.Device.if_up <- true;
+  (match t2.Device.if_kind with
+  | Device.Tun t -> t.Device.t_icsum <- true
+  | _ -> assert false);
+  Device.add_addr r1 ~iface:"g" ~addr:(ip "172.16.0.1") ~prefix:(pfx "172.16.0.0/30");
+  Device.add_addr r2 ~iface:"g" ~addr:(ip "172.16.0.2") ~prefix:(pfx "172.16.0.0/30");
+  check tbool "dropped for missing checksum" false
+    (Ping.reachable net ~from:r1 ~src:(ip "172.16.0.1") ~dst:(ip "172.16.0.2") ());
+  check tbool "drop counted" true (Counters.get r2.Device.dev_counters "gre_check_drop" > 0)
+
+let test_gre_inner_addresses_ping () =
+  (* the classic `ifconfig greA 192.168.3.1` test: tunnel endpoints ping
+     each other over the tunnel's inner addresses *)
+  let net = Net.create () in
+  let mk name addr =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    Device.add_addr d ~iface:"eth0" ~addr:(ip addr) ~prefix:(pfx "192.168.0.0/30");
+    Device.load_module d "ip_gre";
+    d
+  in
+  let r1 = mk "r1" "192.168.0.1" and r2 = mk "r2" "192.168.0.2" in
+  let _ = Net.connect net (r1, 0) (r2, 0) in
+  List.iter
+    (fun (d, l, r) ->
+      let t = Device.add_tunnel d ~name:"greA" ~mode:Device.Gre_mode ~local:(ip l) ~remote:(ip r) () in
+      t.Device.if_up <- true;
+      Device.add_addr d ~iface:"greA"
+        ~addr:(ip (if l = "192.168.0.1" then "192.168.3.1" else "192.168.3.2"))
+        ~prefix:(pfx "192.168.3.0/24"))
+    [ (r1, "192.168.0.1", "192.168.0.2"); (r2, "192.168.0.2", "192.168.0.1") ];
+  check tbool "inner ping over the tunnel" true
+    (Ping.reachable net ~from:r1 ~src:(ip "192.168.3.1") ~dst:(ip "192.168.3.2") ())
+
+let () =
+  Alcotest.run "netsim_unit"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "fifo at same time" `Quick test_eq_fifo_at_same_time;
+          Alcotest.test_case "time ordering" `Quick test_eq_time_ordering;
+          Alcotest.test_case "budget guard" `Quick test_eq_budget;
+          Alcotest.test_case "negative delay" `Quick test_eq_negative_delay_rejected;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "mtu drop" `Quick test_link_mtu_drop;
+          Alcotest.test_case "broadcast segment" `Quick test_link_broadcast_segment;
+          Alcotest.test_case "cut mid flight" `Quick test_link_cut_mid_flight;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "trace signatures" `Quick test_trace_captures_signatures;
+          Alcotest.test_case "frame signatures" `Quick test_frame_signatures_layered;
+        ] );
+      ( "arp",
+        [
+          Alcotest.test_case "cache population" `Quick test_arp_cache_populated;
+          Alcotest.test_case "foreign address" `Quick test_arp_no_reply_for_foreign_address;
+          Alcotest.test_case "proxy off by default" `Quick test_proxy_arp_disabled_by_default;
+        ] );
+      ( "icmp",
+        [ Alcotest.test_case "time exceeded" `Quick test_time_exceeded_reaches_sender ] );
+      ("udp", [ Alcotest.test_case "sockets" `Quick test_udp_sockets ]);
+      ( "routing",
+        [
+          Alcotest.test_case "lpm" `Quick test_lpm_longest_prefix_wins;
+          Alcotest.test_case "rule priority" `Quick test_rule_priority_order;
+          Alcotest.test_case "table idempotence" `Quick test_register_table_idempotent;
+        ] );
+      ( "tunnels",
+        [
+          Alcotest.test_case "gre checksum required" `Quick test_gre_checksum_required;
+          Alcotest.test_case "gre inner addresses" `Quick test_gre_inner_addresses_ping;
+        ] );
+    ]
