@@ -189,6 +189,14 @@ let bench_secure_vpn =
          let p = List.find Scenarios.secure paths in
          ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
 
+let bench_lossy_configure =
+  Test.make ~name:"robustness: GRE configuration at 30% mgmt loss"
+    (Staged.stage (fun () ->
+         let v = Scenarios.build_vpn () in
+         Mgmt.Faults.set_drop v.Scenarios.faults 0.3;
+         let p = List.find Scenarios.pure_gre (Nm.find_paths v.Scenarios.nm v.Scenarios.goal) in
+         ignore (Nm.configure_path v.Scenarios.nm v.Scenarios.goal p)))
+
 let bench_raw_channel =
   Test.make ~name:"substrate: raw-channel flooded showActual"
     (Staged.stage (fun () ->
@@ -215,6 +223,7 @@ let all_tests =
       bench_wire_codec;
       bench_ipv4_codec;
       bench_raw_channel;
+      bench_lossy_configure;
       bench_secure_vpn;
       bench_full_search;
       bench_hierarchical_search;

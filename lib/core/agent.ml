@@ -11,7 +11,24 @@ type t = {
   mutable annex : Wire.annex;
   mutable polling : bool;
   mutable repoll : bool; (* progress was made mid-pass: run another pass *)
+  (* Replies already given, keyed by (requesting NM, request id): a retried
+     state-changing request is answered from here instead of being applied
+     twice. Bounded FIFO — old entries are evicted once confirmed requests
+     can no longer be retried in practice. *)
+  done_reqs : (string * int, Wire.t) Hashtbl.t;
+  done_order : (string * int) Queue.t;
 }
+
+let done_cache_max = 256
+
+let remember_done t key reply =
+  if not (Hashtbl.mem t.done_reqs key) then begin
+    Hashtbl.replace t.done_reqs key reply;
+    Queue.push key t.done_order;
+    while Queue.length t.done_order > done_cache_max do
+      Hashtbl.remove t.done_reqs (Queue.pop t.done_order)
+    done
+  end
 
 let find_module t mref = List.find_opt (fun m -> Ids.equal m.Module_impl.mref mref) t.modules
 
@@ -88,7 +105,7 @@ let exec_primitive t (prim : Primitive.t) =
   | Primitive.Delete_filter { owner; drop_src; drop_dst } ->
       (find_module_exn t owner).Module_impl.delete_filter ~drop_src ~drop_dst
 
-let handle t ~src:_ payload =
+let handle t ~src payload =
   match Wire.decode payload with
   | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
   | Wire.Show_potential_req { req } ->
@@ -100,19 +117,29 @@ let handle t ~src:_ payload =
       let state = List.map (fun m -> (m.Module_impl.mref, m.Module_impl.actual ())) t.modules in
       send t (Wire.Show_actual_resp { req; state })
   | Wire.Bundle { req; cmds; annex } -> (
-      t.annex <-
-        {
-          Wire.domains =
-            annex.Wire.domains
-            @ List.filter
-                (fun (d, _) -> not (List.mem_assoc d annex.Wire.domains))
-                t.annex.Wire.domains;
-          reporter = (match annex.Wire.reporter with Some r -> Some r | None -> t.annex.Wire.reporter);
-        };
-      try
-        List.iter (exec_primitive t) cmds;
-        poll_all t
-      with Failure e | Devconf.Linux_cli.Error e -> send t (Wire.Bundle_err { req; error = e }))
+      match Hashtbl.find_opt t.done_reqs (src, req) with
+      | Some reply ->
+          (* retried request: the earlier reply was lost, not the work *)
+          send t reply
+      | None ->
+          t.annex <-
+            {
+              Wire.domains =
+                annex.Wire.domains
+                @ List.filter
+                    (fun (d, _) -> not (List.mem_assoc d annex.Wire.domains))
+                    t.annex.Wire.domains;
+              reporter = (match annex.Wire.reporter with Some r -> Some r | None -> t.annex.Wire.reporter);
+            };
+          let reply =
+            try
+              List.iter (exec_primitive t) cmds;
+              poll_all t;
+              Wire.Bundle_ack { req }
+            with Failure e | Devconf.Linux_cli.Error e -> Wire.Bundle_err { req; error = e }
+          in
+          remember_done t (src, req) reply;
+          send t reply)
   | Wire.Self_test_req { req; target; against } -> (
       match find_module t target with
       | Some m ->
@@ -126,18 +153,24 @@ let handle t ~src:_ payload =
           m.Module_impl.on_peer ~src payload;
           poll_all t
       | None -> ())
-  | Wire.Set_address { target; addr; plen } -> (
-      match find_module t target with
-      | Some m ->
-          m.Module_impl.set_address ~addr ~plen;
-          poll_all t
-      | None -> ())
+  | Wire.Set_address { req; target; addr; plen } ->
+      (match Hashtbl.find_opt t.done_reqs (src, req) with
+      | Some reply -> send t reply
+      | None ->
+          (match find_module t target with
+          | Some m ->
+              m.Module_impl.set_address ~addr ~plen;
+              poll_all t
+          | None -> ());
+          let reply = Wire.Ack { req } in
+          remember_done t (src, req) reply;
+          send t reply)
   | Wire.Nm_takeover { nm } ->
       (* a standby NM took over (§V): all further management traffic,
          including triggers and conveys, goes to it *)
       t.nm_device <- nm
-  | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Bundle_err _
-  | Wire.Self_test_resp _ | Wire.Completion _ | Wire.Trigger _ ->
+  | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Bundle_ack _
+  | Wire.Ack _ | Wire.Bundle_err _ | Wire.Self_test_resp _ | Wire.Completion _ | Wire.Trigger _ ->
       (* NM-bound messages; not meaningful at an agent *)
       ()
 
@@ -151,6 +184,8 @@ let create ~chan ~nm_device device =
       annex = Wire.empty_annex;
       polling = false;
       repoll = false;
+      done_reqs = Hashtbl.create 64;
+      done_order = Queue.create ();
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:device.Netsim.Device.dev_id (fun ~src payload ->

@@ -7,15 +7,22 @@
    and run the network to quiescence, while all module coordination happens
    asynchronously inside the run. *)
 
-type stats = { mutable sent : int; mutable received : int }
+(* [acks] is deliberately separate from [received]: the paper's Table VI
+   counts protocol messages, and explicit success acks are our honesty
+   add-on, not part of the accounting being reproduced. *)
+type stats = { mutable sent : int; mutable received : int; mutable acks : int }
 
 type t = {
   chan : Mgmt.Channel.t;
+  transport : Mgmt.Reliable.t option; (* when the channel is lossy *)
   my_id : string; (* device id of the management station *)
   net : Netsim.Net.t;
   topo : Topology.t;
   stats : stats;
   mutable req : int;
+  mutable inflight : (int * string * Wire.t) list;
+      (* state-changing requests (bundles, address assignments) sent but
+         not yet confirmed — replayed by a standby after take_over *)
   mutable outstanding : int list; (* unanswered request ids *)
   mutable actuals : (int * (Ids.t * (string * string) list) list) list;
   mutable completions : (Ids.t * string) list;
@@ -31,6 +38,14 @@ let send t ~dst msg =
   t.stats.sent <- t.stats.sent + 1;
   Mgmt.Channel.send t.chan ~src:t.my_id ~dst (Wire.encode msg)
 
+(* Sends a state-changing request and remembers it until the agent
+   confirms (Bundle_ack / Ack / Bundle_err). *)
+let send_req t ~dst ~req msg =
+  t.inflight <- (req, dst, msg) :: t.inflight;
+  send t ~dst msg
+
+let confirm t req = t.inflight <- List.filter (fun (r, _, _) -> r <> req) t.inflight
+
 let annex_of t reporter =
   { Wire.domains = t.topo.Topology.domain_prefixes; reporter }
 
@@ -42,19 +57,69 @@ let send_script ?(batched = true) t (script : Script_gen.script) =
     (fun (dev, prims) ->
       let ship cmds =
         t.req <- t.req + 1;
-        send t ~dst:dev
+        send_req t ~dst:dev ~req:t.req
           (Wire.Bundle { req = t.req; cmds; annex = annex_of t script.Script_gen.reporter })
       in
       if batched then ship prims else List.iter (fun p -> ship [ p ]) prims)
     script.Script_gen.per_device
 
+(* Ships only the slices of [script]'s deletion script that target devices
+   the NM can still talk to — used to back out a partially-applied script
+   when a device died mid-execution. *)
+let send_deletion_reachable t (script : Script_gen.script) =
+  let del = Script_gen.deletion_script script in
+  let per_device =
+    List.filter (fun (dev, _) -> Topology.is_reachable t.topo dev) del.Script_gen.per_device
+  in
+  List.iter
+    (fun (dev, prims) ->
+      if prims <> [] then begin
+        t.req <- t.req + 1;
+        send_req t ~dst:dev ~req:t.req
+          (Wire.Bundle { req = t.req; cmds = prims; annex = annex_of t None })
+      end)
+    per_device
+
+let fresh_req t =
+  t.req <- t.req + 1;
+  t.outstanding <- t.req :: t.outstanding;
+  t.req
+
 let rec handle t ~src payload =
   match Wire.decode payload with
   | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+  (* Success acks confirm in-flight requests but stay out of the Table-VI
+     message accounting (they are our addition, not the paper's). *)
+  | Wire.Bundle_ack { req } | Wire.Ack { req } ->
+      t.stats.acks <- t.stats.acks + 1;
+      confirm t req
   | msg -> (
       t.stats.received <- t.stats.received + 1;
       match msg with
-      | Wire.Hello { ports } -> Topology.record_hello t.topo ~src ports
+      | Wire.Hello { ports } ->
+          let recovered =
+            Topology.device t.topo src <> None && not (Topology.is_reachable t.topo src)
+          in
+          Topology.record_hello t.topo ~src ports;
+          if recovered then begin
+            (* The device came back (§II-E dependency maintenance applied to
+               the device itself): relearn its potential and re-apply the
+               slices of every active script that configure it. *)
+            Topology.set_reachable t.topo src true;
+            send t ~dst:src (Wire.Show_potential_req { req = fresh_req t });
+            List.iter
+              (fun (script : Script_gen.script) ->
+                List.iter
+                  (fun (dev, prims) ->
+                    if dev = src && prims <> [] then begin
+                      t.req <- t.req + 1;
+                      send_req t ~dst:dev ~req:t.req
+                        (Wire.Bundle
+                           { req = t.req; cmds = prims; annex = annex_of t script.Script_gen.reporter })
+                    end)
+                  script.Script_gen.per_device)
+              t.active_scripts
+          end
       | Wire.Show_potential_resp { req; modules } ->
           Topology.record_potential t.topo ~src modules;
           t.outstanding <- List.filter (( <> ) req) t.outstanding
@@ -66,7 +131,10 @@ let rec handle t ~src payload =
           t.convey_log <- (msrc, dst, payload) :: t.convey_log;
           send t ~dst:dst.Ids.dev (Wire.Convey { src = msrc; dst; payload })
       | Wire.Completion { src = m; what } -> t.completions <- (m, what) :: t.completions
-      | Wire.Bundle_err { req = _; error } -> t.errors <- (src, error) :: t.errors
+      | Wire.Bundle_err { req; error } ->
+          (* the request reached the device; it failed rather than vanished *)
+          confirm t req;
+          t.errors <- (src, error) :: t.errors
       | Wire.Self_test_resp { req; target; ok; detail } ->
           t.self_tests <- (req, (target, ok, detail)) :: t.self_tests;
           t.outstanding <- List.filter (( <> ) req) t.outstanding
@@ -77,18 +145,20 @@ let rec handle t ~src payload =
              scripts, whose execution is idempotent. *)
           if t.auto_repair then List.iter (send_script t) t.active_scripts
       | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Bundle _ | Wire.Self_test_req _
-      | Wire.Nm_takeover _ | Wire.Set_address _ ->
+      | Wire.Nm_takeover _ | Wire.Set_address _ | Wire.Bundle_ack _ | Wire.Ack _ ->
         ())
 
-and create ~chan ~net ~my_id () =
+and create ?transport ~chan ~net ~my_id () =
   let t =
     {
       chan;
+      transport;
       my_id;
       net;
       topo = Topology.create ();
-      stats = { sent = 0; received = 0 };
+      stats = { sent = 0; received = 0; acks = 0 };
       req = 0;
+      inflight = [];
       outstanding = [];
       actuals = [];
       completions = [];
@@ -101,20 +171,23 @@ and create ~chan ~net ~my_id () =
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:my_id (fun ~src payload -> handle t ~src payload);
+  (* When the transport abandons a destination, degrade gracefully: mark
+     the device unreachable so goal achievement routes around it. *)
+  Option.iter
+    (fun tr ->
+      Mgmt.Reliable.on_give_up tr (fun ~src ~dst ->
+          if src = t.my_id then Topology.set_reachable t.topo dst false))
+    transport;
   t
 
 let reset_stats t =
   t.stats.sent <- 0;
-  t.stats.received <- 0
+  t.stats.received <- 0;
+  t.stats.acks <- 0
 
 let run t = ignore (Netsim.Net.run t.net)
 
 (* --- discovery -------------------------------------------------------------- *)
-
-let fresh_req t =
-  t.req <- t.req + 1;
-  t.outstanding <- t.req :: t.outstanding;
-  t.req
 
 (* showPotential at every device the NM knows about (or is told to manage). *)
 let harvest_potentials t devices =
@@ -140,16 +213,61 @@ let configure_path ?batched t goal path =
   run t;
   script
 
-let achieve ?(configure = true) t goal =
-  let paths = find_paths t goal in
-  match Path_finder.choose t.topo paths with
-  | None -> Error "no path satisfies the goal"
-  | Some path ->
-      let script =
-        if configure then configure_path t goal path
-        else Script_gen.generate t.topo goal path
-      in
-      Ok (paths, path, script)
+let devices_of_path (path : Path_finder.path) =
+  List.fold_left
+    (fun acc (v : Path_finder.visit) ->
+      let d = v.Path_finder.v_mod.Ids.dev in
+      if List.mem d acc then acc else d :: acc)
+    [] path.Path_finder.visits
+
+(* Backs a partially-applied script out of the devices that still answer,
+   and forgets it. *)
+let abort_script t (script : Script_gen.script) =
+  send_deletion_reachable t script;
+  t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
+  run t
+
+let achieve ?(configure = true) ?(max_attempts = 4) t goal =
+  let rec go attempts =
+    let paths = find_paths t goal in
+    let viable =
+      List.filter
+        (fun p -> List.for_all (Topology.is_reachable t.topo) (devices_of_path p))
+        paths
+    in
+    match Path_finder.choose t.topo viable with
+    | None -> (
+        (* Name the unreachable devices only when they are what stands
+           between the NM and a path. *)
+        match
+          List.filter
+            (fun d -> List.exists (fun p -> List.mem d (devices_of_path p)) paths)
+            (Topology.unreachable t.topo)
+        with
+        | [] -> Error "no path satisfies the goal"
+        | down -> Error ("device unreachable: " ^ String.concat ", " down))
+    | Some path ->
+        if not configure then Ok (paths, path, Script_gen.generate t.topo goal path)
+        else begin
+          let down_before = Topology.unreachable t.topo in
+          let script = configure_path t goal path in
+          let newly_down =
+            List.filter
+              (fun d -> List.mem d (devices_of_path path) && not (List.mem d down_before))
+              (Topology.unreachable t.topo)
+          in
+          if newly_down = [] then Ok (paths, path, script)
+          else begin
+            (* A path device died mid-script: back out what was applied and
+               try again — the dead device is now filtered out, so a retry
+               either routes around it or names it. *)
+            abort_script t script;
+            if attempts > 1 then go (attempts - 1)
+            else Error ("device unreachable: " ^ String.concat ", " newly_down)
+          end
+        end
+  in
+  go max_attempts
 
 (* --- multiple NMs (§V): warm standby and takeover ------------------------------ *)
 
@@ -161,25 +279,42 @@ let replicate_to t ~(standby : t) =
   standby.topo.Topology.module_domains <- t.topo.Topology.module_domains;
   standby.topo.Topology.domain_prefixes <- t.topo.Topology.domain_prefixes;
   standby.active_scripts <- t.active_scripts;
-  standby.auto_repair <- t.auto_repair
+  standby.auto_repair <- t.auto_repair;
+  (* requests the primary has issued but not yet seen confirmed: the
+     standby must be able to replay them if it takes over mid-script *)
+  standby.inflight <- t.inflight;
+  standby.req <- max standby.req t.req
 
 (* The standby announces itself as the NM in charge: every agent redirects
-   its management traffic (triggers, conveys, responses). *)
+   its management traffic (triggers, conveys, responses). The broadcast is
+   best-effort, so each known device also gets a unicast (which the
+   transport retries); then any request the primary died without seeing
+   confirmed is re-issued under this NM's identity. *)
 let take_over t =
   send t ~dst:Mgmt.Frame.broadcast (Wire.Nm_takeover { nm = t.my_id });
+  List.iter
+    (fun (d : Topology.device_info) ->
+      if d.Topology.di_id <> t.my_id then
+        send t ~dst:d.Topology.di_id (Wire.Nm_takeover { nm = t.my_id }))
+    t.topo.Topology.devices;
+  let pending = List.rev t.inflight in
+  t.inflight <- [];
+  List.iter (fun (req, dst, msg) -> send_req t ~dst ~req msg) pending;
   run t
 
 (* Assigns an address to an IP module — the task the paper deliberately
    centralises in the NM "as DHCP servers do today" (§II-E). *)
 let assign_address t ~target ~addr ~plen =
-  send t ~dst:target.Ids.dev (Wire.Set_address { target; addr; plen });
+  t.req <- t.req + 1;
+  send_req t ~dst:target.Ids.dev ~req:t.req
+    (Wire.Set_address { req = t.req; target; addr; plen });
   run t
 
 (* Installs performance-enforcement state (§II-D.1(c)): rate-limit the
    traffic a module sends into a pipe. *)
 let enforce_rate t ~owner ~pipe_id ~rate_kbps =
   t.req <- t.req + 1;
-  send t ~dst:owner.Ids.dev
+  send_req t ~dst:owner.Ids.dev ~req:t.req
     (Wire.Bundle
        {
          req = t.req;
@@ -190,7 +325,7 @@ let enforce_rate t ~owner ~pipe_id ~rate_kbps =
 
 let remove_rate t ~owner ~pipe_id =
   t.req <- t.req + 1;
-  send t ~dst:owner.Ids.dev
+  send_req t ~dst:owner.Ids.dev ~req:t.req
     (Wire.Bundle
        {
          req = t.req;
@@ -468,3 +603,6 @@ let triggers t = t.triggers
 let set_auto_repair t v = t.auto_repair <- v
 let stats_sent t = t.stats.sent
 let stats_received t = t.stats.received
+let stats_acks t = t.stats.acks
+let inflight_count t = List.length t.inflight
+let transport t = t.transport

@@ -12,8 +12,14 @@
 
 type t
 
-val create : chan:Mgmt.Channel.t -> net:Netsim.Net.t -> my_id:string -> unit -> t
-(** A NM subscribed to the channel as device [my_id]. *)
+val create :
+  ?transport:Mgmt.Reliable.t -> chan:Mgmt.Channel.t -> net:Netsim.Net.t -> my_id:string -> unit -> t
+(** A NM subscribed to the channel as device [my_id]. When [transport] is
+    the {!Mgmt.Reliable} layer under [chan], the NM listens for delivery
+    give-ups and marks the abandoned device unreachable in its
+    {!topology}, to be routed around by {!achieve} until a fresh [Hello]
+    shows it recovered (which also re-syncs the device's slices of every
+    active script). *)
 
 val run : t -> unit
 (** Runs the network to quiescence. *)
@@ -40,12 +46,20 @@ val configure_path :
 
 val achieve :
   ?configure:bool ->
+  ?max_attempts:int ->
   t ->
   Path_finder.goal ->
   (Path_finder.path list * Path_finder.path * Script_gen.script, string) result
 (** The full pipeline: enumerate, choose, generate and (unless
     [configure:false]) execute. Returns all candidate paths, the chosen
-    one, and its script. *)
+    one, and its script.
+
+    Degraded mode: paths through devices currently marked unreachable are
+    skipped, and if a path device stops answering mid-script the partial
+    configuration is backed out of the devices that still respond and the
+    next-best path is tried (up to [max_attempts], default 4). When the
+    only candidates run through dead devices the result is
+    [Error "device unreachable: <ids>"]. *)
 
 val achieve_l2 :
   ?configure:bool ->
@@ -87,18 +101,29 @@ val probe_end_to_end : t -> Path_finder.path -> bool * string
 (** {1 Multiple NMs (§V)} *)
 
 val replicate_to : t -> standby:t -> unit
-(** Copies the learnt topology, domain knowledge and active scripts into a
-    warm standby. *)
+(** Copies the learnt topology, domain knowledge, active scripts and
+    unconfirmed in-flight requests into a warm standby. *)
 
 val take_over : t -> unit
-(** Broadcasts an [Nm_takeover]: every agent redirects its management
-    traffic to this NM. *)
+(** Broadcasts an [Nm_takeover] (plus a retried unicast per known device):
+    every agent redirects its management traffic to this NM. Requests the
+    primary never saw confirmed are re-issued under this NM's identity. *)
 
 (** {1 Observation} *)
 
 val reset_stats : t -> unit
 val stats_sent : t -> int
+
 val stats_received : t -> int
+(** Protocol messages only, per Table VI — explicit success acks are
+    counted in {!stats_acks} instead. *)
+
+val stats_acks : t -> int
+
+val inflight_count : t -> int
+(** State-changing requests sent but not yet confirmed by an agent. *)
+
+val transport : t -> Mgmt.Reliable.t option
 val conveys : t -> (Ids.t * Ids.t * Peer_msg.t) list
 (** The conveyMessage relay log (the figure-3 trace). *)
 

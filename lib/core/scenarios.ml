@@ -9,21 +9,30 @@ let nm_station_id = "id-NM"
 
 type channel_kind = [ `Oob | `Raw ]
 
-(* Builds the channel; for the raw in-band channel a management station
-   device is created and wired to [attach_to]. *)
-let make_channel kind net ~devices ~attach_to =
-  match kind with
-  | `Oob -> (Mgmt.Channel.Oob.create (Net.eq net), None)
-  | `Raw ->
-      let chan, attach = Mgmt.Channel.Raw.create () in
-      let nms = Net.add_device net ~id:nm_station_id ~name:"NMS" in
-      ignore (Device.add_port ~name:"mgmt0" nms);
-      let host_port = Device.add_port ~name:"mgmt" attach_to in
-      let _ =
-        Net.connect net ~name:"NMS-uplink" (nms, 0) (attach_to, host_port.Device.port_index)
-      in
-      List.iter attach (nms :: devices);
-      (chan, Some nms)
+(* Builds the channel stack: base channel (Oob or Raw), fault-injection
+   layer, reliable delivery on top. With default knobs the fault layer is
+   a no-op, so fault-free runs behave as before — but every scenario can
+   be made lossy ([fault_seed] keeps it deterministic) and the NM always
+   has a transport to learn give-ups from. For the raw in-band channel a
+   management station device is created and wired to [attach_to]. *)
+let make_channel ?(fault_seed = 42) ?reliability kind net ~devices ~attach_to =
+  let base, nms =
+    match kind with
+    | `Oob -> (Mgmt.Channel.Oob.create (Net.eq net), None)
+    | `Raw ->
+        let chan, attach = Mgmt.Channel.Raw.create () in
+        let nms = Net.add_device net ~id:nm_station_id ~name:"NMS" in
+        ignore (Device.add_port ~name:"mgmt0" nms);
+        let host_port = Device.add_port ~name:"mgmt" attach_to in
+        let _ =
+          Net.connect net ~name:"NMS-uplink" (nms, 0) (attach_to, host_port.Device.port_index)
+        in
+        List.iter attach (nms :: devices);
+        (chan, Some nms)
+  in
+  let faulty, faults = Mgmt.Faults.wrap ~seed:fault_seed ~eq:(Net.eq net) base in
+  let chan, transport = Mgmt.Reliable.create ?config:reliability ~eq:(Net.eq net) faulty in
+  (chan, faults, transport, nms)
 
 let eth_neighbours net dev i =
   Net.neighbours net dev i
@@ -35,6 +44,8 @@ let eth_neighbours net dev i =
 type vpn = {
   tb : Testbeds.vpn;
   chan : Mgmt.Channel.t;
+  faults : Mgmt.Faults.t;
+  transport : Mgmt.Reliable.t;
   nm : Nm.t;
   goal : Path_finder.goal;
   scope : string list;
@@ -57,11 +68,13 @@ let vpn_goal ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) () =
     g_scope = [ "id-A"; "id-B"; "id-C" ];
   }
 
-let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs () =
+let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliability () =
   let tb = Testbeds.vpn () in
   let net = tb.Testbeds.vpn_net in
   let managed = [ tb.Testbeds.ra; tb.Testbeds.rb; tb.Testbeds.rc ] in
-  let chan, _ = make_channel channel net ~devices:managed ~attach_to:tb.Testbeds.rb in
+  let chan, faults, transport, _ =
+    make_channel ?fault_seed ?reliability channel net ~devices:managed ~attach_to:tb.Testbeds.rb
+  in
   let ip_handles = ref [] in
   let setup_device dev specs =
     let agent = Agent.create ~chan ~nm_device:nm_station_id dev in
@@ -132,7 +145,7 @@ let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs () =
      host_agent tb.Testbeds.host1 "x";
      host_agent tb.Testbeds.host2 "y"
    end);
-  let nm = Nm.create ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) [ agent_a; agent_b; agent_c ];
   Nm.run nm;
   let scope = [ "id-A"; "id-B"; "id-C" ] in
@@ -150,6 +163,8 @@ let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs () =
   {
     tb;
     chan;
+    faults;
+    transport;
     nm;
     goal = vpn_goal ?tradeoffs ();
     scope;
@@ -164,18 +179,21 @@ let vpn_reachable v = Testbeds.vpn_reachable v.tb
 type chain = {
   ctb : Testbeds.chain;
   cchan : Mgmt.Channel.t;
+  cfaults : Mgmt.Faults.t;
+  ctransport : Mgmt.Reliable.t;
   cnm : Nm.t;
   cgoal : Path_finder.goal;
   cscope : string list;
 }
 
 let build_chain ?(channel = `Oob) ?(addressed = true)
-    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) n =
+    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed ?reliability n =
   let tb = Testbeds.chain ~addressed n in
   let net = tb.Testbeds.chain_net in
   let routers = Array.to_list tb.Testbeds.routers in
-  let chan, _ =
-    make_channel channel net ~devices:routers ~attach_to:tb.Testbeds.routers.(0)
+  let chan, cfaults, ctransport, _ =
+    make_channel ?fault_seed ?reliability channel net ~devices:routers
+      ~attach_to:tb.Testbeds.routers.(0)
   in
   let module_domains = ref [] in
   let setup_device dev specs =
@@ -230,7 +248,7 @@ let build_chain ?(channel = `Oob) ?(addressed = true)
             ])
       routers
   in
-  let nm = Nm.create ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:ctransport ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) agents;
   Nm.run nm;
   let scope = List.map (fun d -> d.Device.dev_id) routers in
@@ -250,7 +268,7 @@ let build_chain ?(channel = `Oob) ?(addressed = true)
       g_scope = scope;
     }
   in
-  { ctb = tb; cchan = chan; cnm = nm; cgoal = goal; cscope = scope }
+  { ctb = tb; cchan = chan; cfaults; ctransport; cnm = nm; cgoal = goal; cscope = scope }
 
 let chain_reachable c = Testbeds.chain_reachable c.ctb
 
@@ -259,16 +277,21 @@ let chain_reachable c = Testbeds.chain_reachable c.ctb
 type diamond = {
   dtb : Testbeds.diamond;
   dchan : Mgmt.Channel.t;
+  dfaults : Mgmt.Faults.t;
+  dtransport : Mgmt.Reliable.t;
   dnm : Nm.t;
   dgoal : Path_finder.goal;
   dscope : string list;
+  dagents : (string * Agent.t) list; (* device id -> agent *)
 }
 
-let build_diamond ?(channel = `Oob) () =
+let build_diamond ?(channel = `Oob) ?fault_seed ?reliability () =
   let tb = Testbeds.diamond () in
   let net = tb.Testbeds.dia_net in
   let managed = [ tb.Testbeds.dia_a; tb.Testbeds.dia_b1; tb.Testbeds.dia_b2; tb.Testbeds.dia_c ] in
-  let chan, _ = make_channel channel net ~devices:managed ~attach_to:tb.Testbeds.dia_a in
+  let chan, dfaults, dtransport, _ =
+    make_channel ?fault_seed ?reliability channel net ~devices:managed ~attach_to:tb.Testbeds.dia_a
+  in
   let module_domains = ref [] in
   let setup dev specs =
     let agent = Agent.create ~chan ~nm_device:nm_station_id dev in
@@ -317,7 +340,7 @@ let build_diamond ?(channel = `Oob) () =
         ];
     ]
   in
-  let nm = Nm.create ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:dtransport ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) agents;
   Nm.run nm;
   let scope = [ "id-A"; "id-B1"; "id-B2"; "id-C" ] in
@@ -337,7 +360,16 @@ let build_diamond ?(channel = `Oob) () =
       g_scope = scope;
     }
   in
-  { dtb = tb; dchan = chan; dnm = nm; dgoal = goal; dscope = scope }
+  {
+    dtb = tb;
+    dchan = chan;
+    dfaults;
+    dtransport;
+    dnm = nm;
+    dgoal = goal;
+    dscope = scope;
+    dagents = List.combine scope agents;
+  }
 
 let diamond_reachable d = Testbeds.diamond_reachable d.dtb
 
@@ -360,16 +392,20 @@ let secure p = path_uses "ESP" p
 type vlan = {
   vtb : Testbeds.vlan;
   vchan : Mgmt.Channel.t;
+  vfaults : Mgmt.Faults.t;
+  vtransport : Mgmt.Reliable.t;
   vnm : Nm.t;
   vscope : string list;
   vagents : (string * Agent.t) list;
 }
 
-let build_vlan ?(channel = `Oob) () =
+let build_vlan ?(channel = `Oob) ?fault_seed ?reliability () =
   let tb = Testbeds.vlan () in
   let net = tb.Testbeds.vlan_net in
   let switches = [ tb.Testbeds.swa; tb.Testbeds.swb; tb.Testbeds.swc ] in
-  let chan, _ = make_channel channel net ~devices:switches ~attach_to:tb.Testbeds.swb in
+  let chan, vfaults, vtransport, _ =
+    make_channel ?fault_seed ?reliability channel net ~devices:switches ~attach_to:tb.Testbeds.swb
+  in
   let setup sw (eth_mid, vlan_mid) =
     let agent = Agent.create ~chan ~nm_device:nm_station_id sw in
     let env = Agent.env agent in
@@ -383,7 +419,7 @@ let build_vlan ?(channel = `Oob) () =
   let agent_a = setup tb.Testbeds.swa ("a", "d") in
   let agent_b = setup tb.Testbeds.swb ("b", "e") in
   let agent_c = setup tb.Testbeds.swc ("c", "f") in
-  let nm = Nm.create ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:vtransport ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) [ agent_a; agent_b; agent_c ];
   Nm.run nm;
   let scope = [ "id-SwA"; "id-SwB"; "id-SwC" ] in
@@ -391,6 +427,8 @@ let build_vlan ?(channel = `Oob) () =
   {
     vtb = tb;
     vchan = chan;
+    vfaults;
+    vtransport;
     vnm = nm;
     vscope = scope;
     vagents = [ ("SwA", agent_a); ("SwB", agent_b); ("SwC", agent_c) ];
@@ -402,16 +440,19 @@ let vlan_reachable v = Testbeds.vlan_reachable v.vtb
 type vlan_chain = {
   vctb : Testbeds.vlan_chain;
   vcchan : Mgmt.Channel.t;
+  vcfaults : Mgmt.Faults.t;
+  vctransport : Mgmt.Reliable.t;
   vcnm : Nm.t;
   vcscope : string list;
 }
 
-let build_vlan_chain ?(channel = `Oob) n =
+let build_vlan_chain ?(channel = `Oob) ?fault_seed ?reliability n =
   let tb = Testbeds.vlan_chain n in
   let net = tb.Testbeds.vc_net in
   let switches = Array.to_list tb.Testbeds.switches in
-  let chan, _ =
-    make_channel channel net ~devices:switches ~attach_to:tb.Testbeds.switches.(0)
+  let chan, vcfaults, vctransport, _ =
+    make_channel ?fault_seed ?reliability channel net ~devices:switches
+      ~attach_to:tb.Testbeds.switches.(0)
   in
   let agents =
     List.mapi
@@ -427,11 +468,11 @@ let build_vlan_chain ?(channel = `Oob) n =
         agent)
       switches
   in
-  let nm = Nm.create ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:vctransport ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) agents;
   Nm.run nm;
   let scope = List.map (fun d -> d.Device.dev_id) switches in
   Nm.harvest_potentials nm scope;
-  { vctb = tb; vcchan = chan; vcnm = nm; vcscope = scope }
+  { vctb = tb; vcchan = chan; vcfaults; vctransport; vcnm = nm; vcscope = scope }
 
 let vlan_chain_reachable v = Testbeds.vlan_chain_reachable v.vctb

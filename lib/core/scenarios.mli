@@ -15,6 +15,8 @@ type channel_kind = [ `Oob | `Raw ]
 type vpn = {
   tb : Netsim.Testbeds.vpn;
   chan : Mgmt.Channel.t;
+  faults : Mgmt.Faults.t; (** fault-injection handle for the channel *)
+  transport : Mgmt.Reliable.t; (** reliable-delivery handle under [chan] *)
   nm : Nm.t;
   goal : Path_finder.goal; (** "connect S1 and S2 of customer C1" *)
   scope : string list;
@@ -22,10 +24,20 @@ type vpn = {
   ip_handles : (string * Ip_module.handle) list; (** module id -> handle *)
 }
 
-val build_vpn : ?channel:channel_kind -> ?secure:bool -> ?tradeoffs:string list -> unit -> vpn
+val build_vpn :
+  ?channel:channel_kind ->
+  ?secure:bool ->
+  ?tradeoffs:string list ->
+  ?fault_seed:int ->
+  ?reliability:Mgmt.Reliable.config ->
+  unit ->
+  vpn
 (** [secure:true] additionally registers the figure-1 IPsec pair on the
     edge routers: ESP data modules whose "esp-keys" dependency is satisfied
-    by IKE control modules (§II-F). *)
+    by IKE control modules (§II-F). [fault_seed] (default 42) seeds the
+    fault-injection layer — a no-op until knobs on [faults] are turned;
+    [reliability] overrides {!Mgmt.Reliable.default_config}. Both apply to
+    every builder below. *)
 
 val vpn_goal : ?tradeoffs:string list -> unit -> Path_finder.goal
 
@@ -37,13 +49,21 @@ val vpn_reachable : vpn -> bool
 type chain = {
   ctb : Netsim.Testbeds.chain;
   cchan : Mgmt.Channel.t;
+  cfaults : Mgmt.Faults.t;
+  ctransport : Mgmt.Reliable.t;
   cnm : Nm.t;
   cgoal : Path_finder.goal;
   cscope : string list;
 }
 
 val build_chain :
-  ?channel:channel_kind -> ?addressed:bool -> ?tradeoffs:string list -> int -> chain
+  ?channel:channel_kind ->
+  ?addressed:bool ->
+  ?tradeoffs:string list ->
+  ?fault_seed:int ->
+  ?reliability:Mgmt.Reliable.config ->
+  int ->
+  chain
 (** [addressed:false] leaves the ISP routers without addresses: the NM is
     expected to assign them via {!Nm.assign_address}. *)
 
@@ -54,12 +74,16 @@ val chain_reachable : chain -> bool
 type diamond = {
   dtb : Netsim.Testbeds.diamond;
   dchan : Mgmt.Channel.t;
+  dfaults : Mgmt.Faults.t;
+  dtransport : Mgmt.Reliable.t;
   dnm : Nm.t;
   dgoal : Path_finder.goal;
   dscope : string list;
+  dagents : (string * Agent.t) list; (** device id -> agent *)
 }
 
-val build_diamond : ?channel:channel_kind -> unit -> diamond
+val build_diamond :
+  ?channel:channel_kind -> ?fault_seed:int -> ?reliability:Mgmt.Reliable.config -> unit -> diamond
 val diamond_reachable : diamond -> bool
 
 (** {1 Path classification helpers} *)
@@ -75,20 +99,26 @@ val secure : Path_finder.path -> bool
 type vlan = {
   vtb : Netsim.Testbeds.vlan;
   vchan : Mgmt.Channel.t;
+  vfaults : Mgmt.Faults.t;
+  vtransport : Mgmt.Reliable.t;
   vnm : Nm.t;
   vscope : string list;
   vagents : (string * Agent.t) list;
 }
 
-val build_vlan : ?channel:channel_kind -> unit -> vlan
+val build_vlan :
+  ?channel:channel_kind -> ?fault_seed:int -> ?reliability:Mgmt.Reliable.config -> unit -> vlan
 val vlan_reachable : vlan -> bool
 
 type vlan_chain = {
   vctb : Netsim.Testbeds.vlan_chain;
   vcchan : Mgmt.Channel.t;
+  vcfaults : Mgmt.Faults.t;
+  vctransport : Mgmt.Reliable.t;
   vcnm : Nm.t;
   vcscope : string list;
 }
 
-val build_vlan_chain : ?channel:channel_kind -> int -> vlan_chain
+val build_vlan_chain :
+  ?channel:channel_kind -> ?fault_seed:int -> ?reliability:Mgmt.Reliable.config -> int -> vlan_chain
 val vlan_chain_reachable : vlan_chain -> bool

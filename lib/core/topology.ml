@@ -6,6 +6,9 @@ type device_info = {
   di_id : string;
   mutable di_links : (string * string * string) list; (* port, peer dev, peer port *)
   mutable di_modules : (Ids.t * Abstraction.t) list;
+  mutable di_reachable : bool;
+      (* false once the NM exhausts retries against the device; restored on
+         a fresh Hello *)
 }
 
 type t = {
@@ -22,11 +25,16 @@ let device_or_add t id =
   match device t id with
   | Some d -> d
   | None ->
-      let d = { di_id = id; di_links = []; di_modules = [] } in
+      let d = { di_id = id; di_links = []; di_modules = []; di_reachable = true } in
       t.devices <- t.devices @ [ d ];
       d
 
 let record_hello t ~src ports = (device_or_add t src).di_links <- ports
+
+(* Unknown devices count as reachable: the NM has no evidence otherwise. *)
+let is_reachable t id = match device t id with Some d -> d.di_reachable | None -> true
+let set_reachable t id v = (device_or_add t id).di_reachable <- v
+let unreachable t = List.filter_map (fun d -> if d.di_reachable then None else Some d.di_id) t.devices
 
 let record_potential t ~src modules = (device_or_add t src).di_modules <- modules
 

@@ -8,6 +8,9 @@ type device_info = {
   mutable di_links : (string * string * string) list;
       (** (local port, peer device id, peer port) per Hello *)
   mutable di_modules : (Ids.t * Abstraction.t) list;
+  mutable di_reachable : bool;
+      (** false once the NM exhausts retries against the device; restored
+          on a fresh Hello *)
 }
 
 type t = {
@@ -20,6 +23,14 @@ val create : unit -> t
 val device : t -> string -> device_info option
 val record_hello : t -> src:string -> (string * string * string) list -> unit
 val record_potential : t -> src:string -> (Ids.t * Abstraction.t) list -> unit
+
+val is_reachable : t -> string -> bool
+(** Devices the NM has never heard of count as reachable. *)
+
+val set_reachable : t -> string -> bool -> unit
+
+val unreachable : t -> string list
+(** Ids of every device currently marked unreachable. *)
 
 val set_domains :
   t -> module_domains:(Ids.t * string) list -> domain_prefixes:(string * string) list -> unit

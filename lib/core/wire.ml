@@ -22,11 +22,13 @@ type t =
   | Nm_takeover of { nm : string } (* a standby NM announces it is now primary *)
   (* explicit address assignment by the NM (§II-E: the one task the paper
      keeps protocol-specific and centralised, like a DHCP server) *)
-  | Set_address of { target : Ids.t; addr : string; plen : int }
+  | Set_address of { req : int; target : Ids.t; addr : string; plen : int }
   | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
   (* device -> NM *)
   | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
   | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  | Bundle_ack of { req : int } (* explicit success: the bundle was applied *)
+  | Ack of { req : int } (* generic ack for requests without a richer reply *)
   | Bundle_err of { req : int; error : string }
   | Self_test_resp of { req : int; target : Ids.t; ok : bool; detail : string }
   | Completion of { src : Ids.t; what : string }
@@ -65,8 +67,8 @@ let to_sexp =
       Sexp.List
         [ a "bundle"; Sexp.of_int req; Sexp.List (List.map Primitive.to_sexp cmds); annex_to_sexp annex ]
   | Nm_takeover { nm } -> Sexp.List [ a "nm-takeover"; a nm ]
-  | Set_address { target; addr; plen } ->
-      Sexp.List [ a "set-address"; Sexp.of_mref target; a addr; Sexp.of_int plen ]
+  | Set_address { req; target; addr; plen } ->
+      Sexp.List [ a "set-address"; Sexp.of_int req; Sexp.of_mref target; a addr; Sexp.of_int plen ]
   | Self_test_req { req; target; against } ->
       Sexp.List
         [ a "self-test"; Sexp.of_int req; Sexp.of_mref target; Sexp.of_option Sexp.of_mref against ]
@@ -89,6 +91,8 @@ let to_sexp =
                    [ Sexp.of_mref m; Sexp.List (List.map (Sexp.of_pair a a) kvs) ])
                state);
         ]
+  | Bundle_ack { req } -> Sexp.List [ a "bundle-ack"; Sexp.of_int req ]
+  | Ack { req } -> Sexp.List [ a "ack"; Sexp.of_int req ]
   | Bundle_err { req; error } -> Sexp.List [ a "bundle-err"; Sexp.of_int req; a error ]
   | Self_test_resp { req; target; ok; detail } ->
       Sexp.List [ a "self-test-resp"; Sexp.of_int req; Sexp.of_mref target; Sexp.of_bool ok; a detail ]
@@ -116,8 +120,9 @@ let of_sexp sexp =
       Bundle
         { req = Sexp.to_int req; cmds = List.map Primitive.of_sexp cmds; annex = annex_of_sexp annex }
   | Sexp.List [ Sexp.Atom "nm-takeover"; nm ] -> Nm_takeover { nm = s nm }
-  | Sexp.List [ Sexp.Atom "set-address"; t; addr; plen ] ->
-      Set_address { target = Sexp.to_mref t; addr = s addr; plen = Sexp.to_int plen }
+  | Sexp.List [ Sexp.Atom "set-address"; req; t; addr; plen ] ->
+      Set_address
+        { req = Sexp.to_int req; target = Sexp.to_mref t; addr = s addr; plen = Sexp.to_int plen }
   | Sexp.List [ Sexp.Atom "self-test"; req; t; against ] ->
       Self_test_req
         { req = Sexp.to_int req; target = Sexp.to_mref t; against = Sexp.to_option Sexp.to_mref against }
@@ -144,6 +149,8 @@ let of_sexp sexp =
                 | _ -> raise (Sexp.Parse_error "actual module"))
               mods;
         }
+  | Sexp.List [ Sexp.Atom "bundle-ack"; req ] -> Bundle_ack { req = Sexp.to_int req }
+  | Sexp.List [ Sexp.Atom "ack"; req ] -> Ack { req = Sexp.to_int req }
   | Sexp.List [ Sexp.Atom "bundle-err"; req; e ] ->
       Bundle_err { req = Sexp.to_int req; error = s e }
   | Sexp.List [ Sexp.Atom "self-test-resp"; req; t; ok; d ] ->

@@ -21,11 +21,15 @@ type t =
   | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
       (** NM -> device: a CONMan script slice *)
   | Nm_takeover of { nm : string } (** a standby NM announces it is primary (§V) *)
-  | Set_address of { target : Ids.t; addr : string; plen : int }
+  | Set_address of { req : int; target : Ids.t; addr : string; plen : int }
       (** NM-assigned address (§II-E's DHCP-like exception) *)
   | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
   | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
   | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  | Bundle_ack of { req : int }
+      (** device -> NM: the bundle was applied — success is explicit *)
+  | Ack of { req : int }
+      (** device -> NM: generic ack for requests with no richer reply *)
   | Bundle_err of { req : int; error : string }
   | Self_test_resp of { req : int; target : Ids.t; ok : bool; detail : string }
   | Completion of { src : Ids.t; what : string }

@@ -13,7 +13,15 @@ open Netsim
 
 type handler = src:string -> bytes -> unit
 
-type stats = { mutable frames_sent : int; mutable frames_delivered : int }
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable frames_dropped : int;
+  mutable seen_high_water : int;
+}
+
+let fresh_stats () =
+  { frames_sent = 0; frames_delivered = 0; frames_dropped = 0; seen_high_water = 0 }
 
 type t = {
   send : src:string -> dst:string -> bytes -> unit;
@@ -25,12 +33,14 @@ let send t ~src ~dst payload = t.send ~src ~dst payload
 let subscribe t ~device_id handler = t.subscribe device_id handler
 let stats t = t.stats
 
+let make ~send ~subscribe ~stats = { send; subscribe; stats }
+
 (* --- out-of-band ------------------------------------------------------ *)
 
 module Oob = struct
   let create ?(latency_ns = 2_000L) eq =
     let handlers : (string, handler) Hashtbl.t = Hashtbl.create 16 in
-    let stats = { frames_sent = 0; frames_delivered = 0 } in
+    let stats = fresh_stats () in
     let deliver ~src ~dst payload =
       match Hashtbl.find_opt handlers dst with
       | Some h ->
@@ -57,17 +67,59 @@ end
 (* --- raw in-band flooding --------------------------------------------- *)
 
 module Raw = struct
+  (* Per-source flood-suppression state: a sliding window over the source's
+     sequence numbers. Anything at or below [hi - window] is treated as
+     already seen; in-window sequence numbers are tracked individually so
+     reordered floods are still deduplicated. Bounded: at most [window]
+     entries per source, old entries evicted as [hi] advances. *)
+  type swin = { mutable hi : int; recent : (int, unit) Hashtbl.t }
+
   type agent = {
     device : Device.t;
     mutable next_seq : int;
-    seen : (string * int, unit) Hashtbl.t;
+    seen : (string, swin) Hashtbl.t;
+    window : int;
     mutable handler : handler option;
   }
+
+  let default_window = 512
+
+  (* Returns [true] if [seq] from [src] was already seen (or is too old to
+     tell); records it otherwise. *)
+  let seen_before agent src seq =
+    let win =
+      match Hashtbl.find_opt agent.seen src with
+      | Some w -> w
+      | None ->
+          let w = { hi = 0; recent = Hashtbl.create 16 } in
+          Hashtbl.add agent.seen src w;
+          w
+    in
+    if seq <= win.hi - agent.window then true
+    else if Hashtbl.mem win.recent seq then true
+    else begin
+      Hashtbl.replace win.recent seq ();
+      if seq > win.hi then begin
+        (* evict everything that just slid out of the window *)
+        for s = win.hi - agent.window + 1 to seq - agent.window do
+          Hashtbl.remove win.recent s
+        done;
+        win.hi <- seq
+      end;
+      false
+    end
 
   type net_state = {
     mutable agents : agent list;
     raw_stats : stats;
   }
+
+  let note_seen_size st agent src =
+    match Hashtbl.find_opt agent.seen src with
+    | None -> ()
+    | Some w ->
+        let n = Hashtbl.length w.recent in
+        if n > st.raw_stats.seen_high_water then st.raw_stats.seen_high_water <- n
 
   let flood agent ?(except = -1) frame_bytes =
     let eth_src i = (Device.port agent.device i).Device.port_mac in
@@ -86,8 +138,8 @@ module Raw = struct
           Datapath.transmit agent.device p.Device.port_index frame)
       agent.device.Device.ports
 
-  let create () =
-    let st = { agents = []; raw_stats = { frames_sent = 0; frames_delivered = 0 } } in
+  let create ?(window = default_window) () =
+    let st = { agents = []; raw_stats = fresh_stats () } in
     let find_agent id =
       List.find_opt (fun a -> a.device.Device.dev_id = id) st.agents
     in
@@ -100,24 +152,22 @@ module Raw = struct
     in
     let send ~src ~dst payload =
       match find_agent src with
-      | None -> failwith ("mgmt raw channel: unknown source device " ^ src)
+      | None ->
+          (* A crashed or detached device mid-flight must not abort the
+             event loop: drop and count instead of raising. *)
+          st.raw_stats.frames_dropped <- st.raw_stats.frames_dropped + 1
       | Some agent ->
           st.raw_stats.frames_sent <- st.raw_stats.frames_sent + 1;
           agent.next_seq <- agent.next_seq + 1;
           let f =
             { Frame.src_device = src; dst_device = dst; seq = agent.next_seq; payload }
           in
-          Hashtbl.replace agent.seen (src, f.Frame.seq) ();
+          ignore (seen_before agent src f.Frame.seq);
+          note_seen_size st agent src;
           (* Local loopback when a device messages itself (e.g. the NM's own
-             modules). *)
+             modules). Broadcasts are never self-delivered. *)
           if dst = src then deliver agent f
-          else begin
-            (if dst = Frame.broadcast then
-               match agent.handler with
-               | Some _ -> () (* the source does not self-deliver broadcasts *)
-               | None -> ());
-            flood agent (Frame.encode f)
-          end
+          else flood agent (Frame.encode f)
     in
     let subscribe id h =
       match find_agent id with
@@ -126,7 +176,9 @@ module Raw = struct
     in
     let chan = { send; subscribe; stats = st.raw_stats } in
     let attach device =
-      let agent = { device; next_seq = 0; seen = Hashtbl.create 64; handler = None } in
+      let agent =
+        { device; next_seq = 0; seen = Hashtbl.create 8; window; handler = None }
+      in
       st.agents <- agent :: st.agents;
       device.Device.mgmt_hook <-
         Some
@@ -134,9 +186,8 @@ module Raw = struct
             match Frame.decode payload with
             | exception Frame.Bad_frame _ -> ()
             | f ->
-                let key = (f.Frame.src_device, f.Frame.seq) in
-                if not (Hashtbl.mem agent.seen key) then begin
-                  Hashtbl.replace agent.seen key ();
+                if not (seen_before agent f.Frame.src_device f.Frame.seq) then begin
+                  note_seen_size st agent f.Frame.src_device;
                   let mine = f.Frame.dst_device = device.Device.dev_id in
                   let bcast = f.Frame.dst_device = Frame.broadcast in
                   if mine || bcast then deliver agent f;

@@ -4,11 +4,24 @@
     Two implementations, as in the paper: {!Oob} models the authors'
     separate management NICs (direct delivery, fixed latency); {!Raw} is
     the 4D-style straw man — raw-Ethernet flooding with per-source
-    sequence-number suppression, needing zero configuration. *)
+    sequence-number suppression, needing zero configuration.
+
+    Both are best-effort: frames can be lost (see {!Faults}) and nothing is
+    acknowledged at this layer. {!Reliable} adds at-least-once delivery
+    with duplicate suppression on top of any channel. *)
 
 type handler = src:string -> bytes -> unit
 
-type stats = { mutable frames_sent : int; mutable frames_delivered : int }
+type stats = {
+  mutable frames_sent : int;
+  mutable frames_delivered : int;
+  mutable frames_dropped : int;
+      (** frames discarded at the channel itself, e.g. a {!Raw} send from a
+          device that is not attached (crashed / removed mid-flight) *)
+  mutable seen_high_water : int;
+      (** largest per-source suppression window ever held by a {!Raw}
+          agent — bounded by the [window] passed to {!Raw.create} *)
+}
 
 type t
 (** A channel endpoint: subscribe per device id, send to a device id or
@@ -18,14 +31,35 @@ val send : t -> src:string -> dst:string -> bytes -> unit
 val subscribe : t -> device_id:string -> handler -> unit
 val stats : t -> stats
 
+val make :
+  send:(src:string -> dst:string -> bytes -> unit) ->
+  subscribe:(string -> handler -> unit) ->
+  stats:stats ->
+  t
+(** Builds a channel from raw callbacks — the hook used by wrapping layers
+    ({!Faults}, {!Reliable}) to interpose on an existing channel. *)
+
 module Oob : sig
   val create : ?latency_ns:int64 -> Netsim.Event_queue.t -> t
 end
 
 module Raw : sig
-  val create : unit -> t * (Netsim.Device.t -> unit)
+  val default_window : int
+
+  val create : ?window:int -> unit -> t * (Netsim.Device.t -> unit)
   (** [create ()] returns the channel and an [attach] function that turns a
       device into a flooding management agent (it claims the device's
       management-ethertype hook). Every participating device — including
-      the NM's station — must be attached before use. *)
+      the NM's station — must be attached before use.
+
+      Broadcast semantics: a broadcast ([dst = Frame.broadcast]) is flooded
+      to every other attached device but is {e never} self-delivered to the
+      sending device. A unicast to the sender's own id is delivered locally
+      without touching the wire.
+
+      [window] bounds the per-source flood-suppression state: each agent
+      remembers at most [window] recent sequence numbers per source
+      (default {!default_window}); anything older than [hi - window] is
+      treated as already seen. Sending from a device that is not attached
+      drops the frame and increments [frames_dropped] rather than raising. *)
 end

@@ -1,0 +1,200 @@
+(* At-least-once delivery with duplicate suppression over any management
+   channel.
+
+   The paper's NM↔agent protocol implicitly assumes the management channel
+   delivers; this layer makes that assumption explicit and earned. Every
+   unicast is wrapped in a small envelope, acknowledged by the receiving
+   endpoint, and retransmitted with exponential backoff until acked or
+   [max_retries] is exhausted — at which point registered give-up listeners
+   are told, so the NM can mark the destination unreachable instead of
+   hanging. Duplicates created by retransmission (or by {!Faults}
+   duplication) are suppressed at the receiver with a per-source sliding
+   window and re-acked, making retried requests idempotent at this layer.
+
+   Envelope wire format: 1-byte tag, 4-byte big-endian sequence number,
+   payload. Tags: 'D' data (ack required), 'A' ack (seq echoes the data
+   frame), 'U' unreliable (broadcasts — there is no single acker). *)
+
+open Netsim
+
+type config = {
+  timeout_ns : int64;  (* first retransmission timeout *)
+  backoff : float;  (* multiplier applied per retry *)
+  max_retries : int;
+}
+
+let default_config = { timeout_ns = 1_000_000L; backoff = 2.0; max_retries = 12 }
+
+type counters = {
+  mutable data_sent : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable acks_received : int;
+  mutable duplicates : int;  (* data frames suppressed at the receiver *)
+  mutable gave_up : int;
+  mutable broadcasts : int;
+}
+
+type pending = {
+  p_dst : string;
+  p_bytes : bytes;  (* full envelope, ready to retransmit *)
+  mutable p_retries : int;
+}
+
+(* Receiver-side duplicate suppression: per-source sliding seq window. *)
+type swin = { mutable hi : int; recent : (int, unit) Hashtbl.t }
+
+let dedup_window = 512
+
+type t = {
+  inner : Channel.t;
+  eq : Event_queue.t;
+  config : config;
+  counters : counters;
+  next_seq : (string * string, int) Hashtbl.t;  (* (src, dst) -> last seq *)
+  pending : (string * string * int, pending) Hashtbl.t;  (* (src, dst, seq) *)
+  seen : (string * string, swin) Hashtbl.t;  (* (receiver, sender) *)
+  mutable give_up_listeners : (src:string -> dst:string -> unit) list;
+}
+
+(* --- envelope codec ---------------------------------------------------- *)
+
+let encode tag seq payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (5 + n) in
+  Bytes.set b 0 tag;
+  Bytes.set b 1 (Char.chr ((seq lsr 24) land 0xff));
+  Bytes.set b 2 (Char.chr ((seq lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((seq lsr 8) land 0xff));
+  Bytes.set b 4 (Char.chr (seq land 0xff));
+  Bytes.blit payload 0 b 5 n;
+  b
+
+let decode b =
+  if Bytes.length b < 5 then None
+  else
+    let byte i = Char.code (Bytes.get b i) in
+    let seq = (byte 1 lsl 24) lor (byte 2 lsl 16) lor (byte 3 lsl 8) lor byte 4 in
+    let payload = Bytes.sub b 5 (Bytes.length b - 5) in
+    Some (Bytes.get b 0, seq, payload)
+
+(* --- duplicate suppression -------------------------------------------- *)
+
+let seen_before t ~receiver ~sender seq =
+  let key = (receiver, sender) in
+  let win =
+    match Hashtbl.find_opt t.seen key with
+    | Some w -> w
+    | None ->
+        let w = { hi = 0; recent = Hashtbl.create 16 } in
+        Hashtbl.add t.seen key w;
+        w
+  in
+  if seq <= win.hi - dedup_window then true
+  else if Hashtbl.mem win.recent seq then true
+  else begin
+    Hashtbl.replace win.recent seq ();
+    if seq > win.hi then begin
+      for s = win.hi - dedup_window + 1 to seq - dedup_window do
+        Hashtbl.remove win.recent s
+      done;
+      win.hi <- seq
+    end;
+    false
+  end
+
+(* --- sender side ------------------------------------------------------- *)
+
+let retry_delay t retries =
+  Int64.of_float (Int64.to_float t.config.timeout_ns *. (t.config.backoff ** float_of_int retries))
+
+let rec arm_timer t key delay =
+  Event_queue.schedule t.eq ~delay_ns:delay (fun () ->
+      match Hashtbl.find_opt t.pending key with
+      | None -> () (* acked in the meantime; timers are never cancelled *)
+      | Some p ->
+          if p.p_retries >= t.config.max_retries then begin
+            Hashtbl.remove t.pending key;
+            t.counters.gave_up <- t.counters.gave_up + 1;
+            let src, dst, _ = key in
+            List.iter (fun f -> f ~src ~dst) t.give_up_listeners
+          end
+          else begin
+            p.p_retries <- p.p_retries + 1;
+            t.counters.retransmits <- t.counters.retransmits + 1;
+            let src, _, _ = key in
+            Channel.send t.inner ~src ~dst:p.p_dst p.p_bytes;
+            arm_timer t key (retry_delay t p.p_retries)
+          end)
+
+let send t ~src ~dst payload =
+  if dst = Frame.broadcast then begin
+    (* No single acker for a broadcast: ship once, unreliably. Callers
+       needing certainty (e.g. discovery) already re-broadcast. *)
+    t.counters.broadcasts <- t.counters.broadcasts + 1;
+    Channel.send t.inner ~src ~dst (encode 'U' 0 payload)
+  end
+  else begin
+    let seq = 1 + (try Hashtbl.find t.next_seq (src, dst) with Not_found -> 0) in
+    Hashtbl.replace t.next_seq (src, dst) seq;
+    let b = encode 'D' seq payload in
+    Hashtbl.replace t.pending (src, dst, seq) { p_dst = dst; p_bytes = b; p_retries = 0 };
+    t.counters.data_sent <- t.counters.data_sent + 1;
+    Channel.send t.inner ~src ~dst b;
+    arm_timer t (src, dst, seq) t.config.timeout_ns
+  end
+
+(* --- receiver side ----------------------------------------------------- *)
+
+let subscribe t id (h : Channel.handler) =
+  Channel.subscribe t.inner ~device_id:id (fun ~src b ->
+      match decode b with
+      | None -> () (* not ours; garbage on the channel *)
+      | Some ('U', _, payload) -> h ~src payload
+      | Some ('A', seq, _) ->
+          t.counters.acks_received <- t.counters.acks_received + 1;
+          Hashtbl.remove t.pending (id, src, seq)
+      | Some ('D', seq, payload) ->
+          (* Always (re-)ack: the previous ack may have been lost. *)
+          t.counters.acks_sent <- t.counters.acks_sent + 1;
+          Channel.send t.inner ~src:id ~dst:src (encode 'A' seq Bytes.empty);
+          if seen_before t ~receiver:id ~sender:src seq then
+            t.counters.duplicates <- t.counters.duplicates + 1
+          else h ~src payload
+      | Some _ -> ())
+
+(* --- construction ------------------------------------------------------ *)
+
+let create ?(config = default_config) ~eq inner =
+  let t =
+    {
+      inner;
+      eq;
+      config;
+      counters =
+        {
+          data_sent = 0;
+          retransmits = 0;
+          acks_sent = 0;
+          acks_received = 0;
+          duplicates = 0;
+          gave_up = 0;
+          broadcasts = 0;
+        };
+      next_seq = Hashtbl.create 32;
+      pending = Hashtbl.create 32;
+      seen = Hashtbl.create 32;
+      give_up_listeners = [];
+    }
+  in
+  let chan =
+    Channel.make
+      ~send:(fun ~src ~dst payload -> send t ~src ~dst payload)
+      ~subscribe:(fun id h -> subscribe t id h)
+      ~stats:(Channel.stats inner)
+  in
+  (chan, t)
+
+let on_give_up t f = t.give_up_listeners <- f :: t.give_up_listeners
+let counters t = t.counters
+let in_flight t = Hashtbl.length t.pending

@@ -1,0 +1,50 @@
+(** At-least-once delivery with duplicate suppression over any management
+    channel.
+
+    Unicasts are sequence-numbered, acknowledged by the receiving endpoint
+    and retransmitted with exponential backoff until acked or until
+    [max_retries] is exhausted, at which point give-up listeners are
+    notified (the NM uses this to mark a device unreachable). Retransmitted
+    or {!Faults}-duplicated frames are suppressed at the receiver and
+    re-acked, so the layer above sees each payload at most once per send.
+    Broadcasts are passed through unreliably — there is no single acker. *)
+
+type config = {
+  timeout_ns : int64;  (** first retransmission timeout (virtual time) *)
+  backoff : float;  (** timeout multiplier applied per retry *)
+  max_retries : int;  (** retransmissions before giving up *)
+}
+
+val default_config : config
+(** 1 ms virtual-time timeout, backoff ×2, 12 retries. *)
+
+type counters = {
+  mutable data_sent : int;  (** distinct payloads sent (first copies) *)
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable acks_received : int;
+  mutable duplicates : int;  (** data frames suppressed at a receiver *)
+  mutable gave_up : int;  (** sends abandoned after [max_retries] *)
+  mutable broadcasts : int;  (** unreliable pass-through broadcasts *)
+}
+
+type t
+
+val create : ?config:config -> eq:Netsim.Event_queue.t -> Channel.t -> Channel.t * t
+(** [create ~eq chan] wraps [chan] (typically the output of {!Faults.wrap})
+    and returns the reliable channel plus the control handle. The returned
+    channel shares [chan]'s frame stats.
+
+    Acks travel back over the same channel and are consumed by the
+    sender's subscription, so an endpoint must be subscribed (even with a
+    no-op handler) for its outgoing unicasts to ever be confirmed — true
+    of the NM and every agent, which subscribe at creation. *)
+
+val on_give_up : t -> (src:string -> dst:string -> unit) -> unit
+(** Registers a listener invoked whenever a unicast from [src] to [dst] is
+    abandoned after exhausting its retries. *)
+
+val counters : t -> counters
+
+val in_flight : t -> int
+(** Number of unacked unicasts currently being retried. *)

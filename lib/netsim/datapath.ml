@@ -13,7 +13,7 @@ let count dev name = Counters.incr dev.dev_counters name
 (* Raw transmit out of a physical port. *)
 let transmit dev port_index frame =
   let p = dev.ports.(port_index) in
-  if p.port_up then
+  if dev.dev_up && p.port_up then
     match p.port_endpoint with
     | Some ep ->
         Counters.incr p.port_counters "tx_frames";
@@ -513,7 +513,9 @@ let eth_input dev ~in_port frame =
       end
       else Counters.incr p.port_counters "rx_other_dst"
 
-let activate dev = dev.rx_dispatch <- (fun in_port frame -> eth_input dev ~in_port frame)
+let activate dev =
+  dev.rx_dispatch <-
+    (fun in_port frame -> if dev.dev_up then eth_input dev ~in_port frame)
 
 (* --- local send helpers -------------------------------------------------- *)
 

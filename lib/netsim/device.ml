@@ -107,6 +107,7 @@ type t = {
   dev_name : string;
   dev_index : int;
   eq : Event_queue.t;
+  mutable dev_up : bool; (* false while crashed: no rx, no tx *)
   mutable ports : port array;
   mutable ifaces : iface list;
   mutable ip_forward : bool;
@@ -136,6 +137,7 @@ let create ?(switching = false) ~eq ~id ~name () =
       dev_name = name;
       dev_index = !next_index;
       eq;
+      dev_up = true;
       ports = [||];
       ifaces = [];
       ip_forward = false;
@@ -394,6 +396,22 @@ let policer_admit dev (i : iface) bytes =
 
 let udp_bind dev ~port handler = Hashtbl.replace dev.udp_socks port handler
 let udp_unbind dev ~port = Hashtbl.remove dev.udp_socks port
+
+(* Crash / restart ----------------------------------------------------- *)
+
+(* Warm restart semantics: the device stops receiving and transmitting and
+   loses volatile state (ARP cache, pending resolutions, learned switch
+   FDB), but keeps its configuration — interfaces, addresses, routes,
+   tunnels — the way a reboot with persistent config does. Cold-start
+   config loss is the NM's business (it re-runs scripts), not the sim's. *)
+let crash dev =
+  dev.dev_up <- false;
+  Hashtbl.reset dev.arp.arp_cache;
+  Hashtbl.reset dev.arp.arp_pending;
+  Hashtbl.reset dev.sw.fdb
+
+let restart dev = dev.dev_up <- true
+let is_up dev = dev.dev_up
 
 (* Misc ---------------------------------------------------------------- *)
 

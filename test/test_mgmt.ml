@@ -172,6 +172,125 @@ let prop_raw_delivery_on_random_trees =
       let events = Net.run ~max_events:1_000_000 net in
       events < 1_000_000 && !got)
 
+(* --- sliding-window suppression state ------------------------------------ *)
+
+let test_raw_seen_window_bounded () =
+  (* With a tiny window, the per-source suppression table must evict old
+     sequence numbers instead of growing with every frame sent. *)
+  let net = Net.create () in
+  let chan, attach = Channel.Raw.create ~window:8 () in
+  let mk name =
+    let d = Net.add_device net ~id:("id-" ^ name) ~name in
+    ignore (Device.add_port d);
+    d
+  in
+  let a = mk "a" and b = mk "b" in
+  let _ = Net.connect net (a, 0) (b, 0) in
+  List.iter attach [ a; b ];
+  let got = ref 0 in
+  Channel.subscribe chan ~device_id:"id-b" (fun ~src:_ _ -> incr got);
+  for i = 1 to 100 do
+    Channel.send chan ~src:"id-a" ~dst:"id-b" (Bytes.of_string (string_of_int i));
+    ignore (Net.run net)
+  done;
+  check tint "all delivered" 100 !got;
+  check tbool
+    (Printf.sprintf "seen table bounded by window (high water %d <= 8)"
+       (Channel.stats chan).Channel.seen_high_water)
+    true
+    ((Channel.stats chan).Channel.seen_high_water <= 8)
+
+let test_raw_unknown_source_drops () =
+  (* A send from a device that is not attached (e.g. crashed mid-flight)
+     must not raise — it is dropped and counted. *)
+  let _, chan, _, _ = raw_line () in
+  Channel.send chan ~src:"id-ghost" ~dst:"id-h2" (Bytes.of_string "boo");
+  check tint "dropped, not raised" 1 (Channel.stats chan).Channel.frames_dropped
+
+(* --- fault injection ------------------------------------------------------ *)
+
+(* One lossy Oob run: [n] unicasts under [drop] probability; returns
+   (delivered count, fault counters). *)
+let lossy_oob_run ~seed ~drop n =
+  let eq = Event_queue.create () in
+  let base = Channel.Oob.create eq in
+  let chan, faults = Faults.wrap ~seed ~eq base in
+  Faults.set_drop faults drop;
+  let got = ref 0 in
+  Channel.subscribe chan ~device_id:"b" (fun ~src:_ _ -> incr got);
+  for i = 1 to n do
+    Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string (string_of_int i))
+  done;
+  let _ = Event_queue.run eq in
+  (!got, Faults.counters faults)
+
+let test_faults_drop_and_determinism () =
+  let got1, c1 = lossy_oob_run ~seed:7 ~drop:0.3 1000 in
+  let got2, c2 = lossy_oob_run ~seed:7 ~drop:0.3 1000 in
+  check tbool "some frames dropped" true (c1.Faults.dropped > 0);
+  check tbool "some frames survived" true (got1 > 0);
+  check tint "same seed => same delivery" got1 got2;
+  check tint "same seed => same drop count" c1.Faults.dropped c2.Faults.dropped;
+  let got3, c3 = lossy_oob_run ~seed:8 ~drop:0.3 1000 in
+  check tbool "different seed => different faults" true
+    (got3 <> got1 || c3.Faults.dropped <> c1.Faults.dropped)
+
+let test_faults_crash_blocks_both_ways () =
+  let eq = Event_queue.create () in
+  let chan, faults = Faults.wrap ~seed:1 ~eq (Channel.Oob.create eq) in
+  let got = ref 0 in
+  Channel.subscribe chan ~device_id:"b" (fun ~src:_ _ -> incr got);
+  Faults.crash faults "b";
+  Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string "to-dead");
+  Channel.send chan ~src:"b" ~dst:"a" (Bytes.of_string "from-dead");
+  let _ = Event_queue.run eq in
+  check tint "nothing through a crashed endpoint" 0 !got;
+  check tint "both counted" 2 (Faults.counters faults).Faults.crash_drops;
+  Faults.restart faults "b";
+  Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string "alive");
+  let _ = Event_queue.run eq in
+  check tint "delivery resumes after restart" 1 !got
+
+(* --- reliable delivery over a lossy channel ------------------------------- *)
+
+let test_reliable_over_lossy_channel () =
+  let eq = Event_queue.create () in
+  let faulty, faults = Faults.wrap ~seed:3 ~eq (Channel.Oob.create eq) in
+  Faults.set_drop faults 0.3;
+  Faults.set_duplicate faults 0.2;
+  let chan, rel = Reliable.create ~eq faulty in
+  let got = ref [] in
+  (* the sender endpoint must be subscribed too: acks come back to it *)
+  Channel.subscribe chan ~device_id:"a" (fun ~src:_ _ -> ());
+  Channel.subscribe chan ~device_id:"b" (fun ~src:_ p -> got := Bytes.to_string p :: !got);
+  for i = 1 to 200 do
+    Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string (string_of_int i))
+  done;
+  let _ = Event_queue.run eq in
+  let c = Reliable.counters rel in
+  check tint "every payload delivered despite 30% loss" 200 (List.length !got);
+  check tint "exactly once each" 200 (List.sort_uniq compare !got |> List.length);
+  check tbool "losses were retransmitted" true (c.Reliable.retransmits > 0);
+  check tbool "duplicates were suppressed" true (c.Reliable.duplicates > 0);
+  check tint "nothing abandoned" 0 c.Reliable.gave_up;
+  check tint "no unacked residue" 0 (Reliable.in_flight rel)
+
+let test_reliable_gives_up_on_dead_destination () =
+  let eq = Event_queue.create () in
+  let faulty, faults = Faults.wrap ~seed:3 ~eq (Channel.Oob.create eq) in
+  let chan, rel = Reliable.create ~eq faulty in
+  Channel.subscribe chan ~device_id:"a" (fun ~src:_ _ -> ());
+  Channel.subscribe chan ~device_id:"b" (fun ~src:_ _ -> ());
+  let abandoned = ref [] in
+  Reliable.on_give_up rel (fun ~src ~dst -> abandoned := (src, dst) :: !abandoned);
+  Faults.crash faults "b";
+  Channel.send chan ~src:"a" ~dst:"b" (Bytes.of_string "anyone there?");
+  let _ = Event_queue.run eq in
+  check tint "retried the full budget" Reliable.default_config.Reliable.max_retries
+    (Reliable.counters rel).Reliable.retransmits;
+  check tbool "give-up listener told" true (List.mem ("a", "b") !abandoned);
+  check tint "pending cleaned up" 0 (Reliable.in_flight rel)
+
 let () =
   Alcotest.run "mgmt"
     [
@@ -190,6 +309,19 @@ let () =
           Alcotest.test_case "loops terminate" `Quick test_raw_loop_terminates;
           Alcotest.test_case "independent of data plane" `Quick test_raw_independent_of_data_plane;
           Alcotest.test_case "stats" `Quick test_raw_stats_count;
+          Alcotest.test_case "seen table bounded" `Quick test_raw_seen_window_bounded;
+          Alcotest.test_case "unknown source drops" `Quick test_raw_unknown_source_drops;
           QCheck_alcotest.to_alcotest prop_raw_delivery_on_random_trees;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "seeded drop determinism" `Quick test_faults_drop_and_determinism;
+          Alcotest.test_case "crash blocks both ways" `Quick test_faults_crash_blocks_both_ways;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "delivery over 30% loss" `Quick test_reliable_over_lossy_channel;
+          Alcotest.test_case "gives up on dead destination" `Quick
+            test_reliable_gives_up_on_dead_destination;
         ] );
     ]
