@@ -248,6 +248,79 @@ let run_benchmarks () =
   in
   List.iter (fun (name, est) -> Printf.printf "%-60s %14.0f ns/run\n" name est) rows
 
+(* --- self-healing data points (BENCH_selfheal.json) ---------------------------- *)
+
+(* One scripted incident on the diamond testbed: the chosen core uplink is
+   cut at a known virtual time and the reconciliation loop repairs around
+   it. The numbers that matter for the perf trajectory — repair latency in
+   virtual time, frames lost while converging, management messages spent
+   reconfiguring — are emitted machine-readable. *)
+let selfheal_datapoints () =
+  let d = Scenarios.build_diamond () in
+  let nm = d.Scenarios.dnm in
+  let chosen =
+    match Nm.achieve nm d.Scenarios.dgoal with
+    | Ok (_, path, _) ->
+        List.find
+          (fun (v : Path_finder.visit) ->
+            let dev = v.Path_finder.v_mod.Ids.dev in
+            dev = "id-B1" || dev = "id-B2")
+          path.Path_finder.visits
+        |> fun v -> v.Path_finder.v_mod.Ids.dev
+    | Error e -> failwith ("selfheal bench: achieve: " ^ e)
+  in
+  let seg_name = if chosen = "id-B1" then "A--B1" else "A--B2" in
+  let seg = Netsim.Net.find_segment_exn d.Scenarios.dtb.Netsim.Testbeds.dia_net seg_name in
+  let cut_at = 1_000_000_000L in
+  Netsim.Link.flap ~cycles:1 seg ~first_down_ns:cut_at ~down_ns:3_000_000_000L
+    ~up_ns:1_000_000_000L;
+  let sent_before = Nm.stats_sent nm in
+  let mon = Monitor.create nm in
+  Monitor.run mon ~ticks:10;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let repaired_at =
+    List.find_map
+      (fun (e : Monitor.event) ->
+        if contains e.Monitor.ev_what "repaired" then Some e.Monitor.ev_time else None)
+      (Monitor.events mon)
+  in
+  let latency = Option.map (fun t -> Int64.sub t cut_at) repaired_at in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": \"diamond core-link cut under reconciliation loop\",\n\
+      \  \"repair_latency_ns\": %s,\n\
+      \  \"frames_lost\": %d,\n\
+      \  \"reconfig_messages\": %d,\n\
+      \  \"repairs\": %d,\n\
+      \  \"resyncs\": %d,\n\
+      \  \"escalations\": %d,\n\
+      \  \"link_flaps\": %d,\n\
+      \  \"reachable_after\": %b\n\
+       }\n"
+      (match latency with Some l -> Int64.to_string l | None -> "null")
+      (Netsim.Link.drop_count seg "cut")
+      (Nm.stats_sent nm - sent_before)
+      (Monitor.repairs mon) (Monitor.resyncs mon) (Monitor.escalations mon)
+      (Netsim.Link.flaps seg)
+      (Scenarios.diamond_reachable d)
+  in
+  let oc = open_out "BENCH_selfheal.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== self-healing data points (BENCH_selfheal.json) =====";
+  print_string json
+
+let quick = Array.exists (fun a -> a = "--quick" || a = "quick") Sys.argv
+
 let () =
-  reproductions ();
-  run_benchmarks ()
+  if quick then selfheal_datapoints ()
+  else begin
+    reproductions ();
+    run_benchmarks ();
+    selfheal_datapoints ()
+  end

@@ -169,6 +169,55 @@ let debug_cmd =
     (Cmd.info "debug" ~doc:"Inject a fault and let the NM localise it")
     Term.(const debug $ fault_arg)
 
+(* --- selfheal ------------------------------------------------------------------ *)
+
+let ticks_arg =
+  let doc = "Reconciliation ticks to run (500 ms of virtual time each)." in
+  Arg.(value & opt int 12 & info [ "ticks" ] ~docv:"N" ~doc)
+
+let flap_cycles_arg =
+  let doc = "Down/up cycles for the injected core-link flap." in
+  Arg.(value & opt int 2 & info [ "cycles" ] ~docv:"N" ~doc)
+
+let selfheal ticks cycles =
+  let d = Scenarios.build_diamond () in
+  let nm = d.Scenarios.dnm in
+  let chosen =
+    match Nm.achieve nm d.Scenarios.dgoal with
+    | Ok (_, path, _) ->
+        List.find_map
+          (fun (v : Path_finder.visit) ->
+            let dev = v.Path_finder.v_mod.Ids.dev in
+            if dev = "id-B1" || dev = "id-B2" then Some dev else None)
+          path.Path_finder.visits
+        |> Option.get
+    | Error e -> Fmt.failwith "achieve: %s" e
+  in
+  Fmt.pr "configured through core %s; reachable: %b@." chosen (Scenarios.diamond_reachable d);
+  let seg_name = if chosen = "id-B1" then "A--B1" else "A--B2" in
+  let seg = Netsim.Net.find_segment_exn d.Scenarios.dtb.Netsim.Testbeds.dia_net seg_name in
+  Netsim.Link.flap ~cycles seg ~first_down_ns:1_200_000_000L ~down_ns:800_000_000L
+    ~up_ns:1_200_000_000L;
+  Fmt.pr "scheduled %d flap cycle(s) on %s; running the reconciliation loop...@.@." cycles
+    seg_name;
+  let mon = Monitor.create nm in
+  Monitor.run mon ~ticks;
+  List.iter (fun e -> Fmt.pr "%a@." Monitor.pp_event e) (Monitor.events mon);
+  Fmt.pr "@.%a@." Monitor.pp_health mon;
+  Fmt.pr "link %s: flaps=%d drops: cut=%d loss=%d corrupt=%d mtu=%d@." seg_name
+    (Netsim.Link.flaps seg)
+    (Netsim.Link.drop_count seg "cut")
+    (Netsim.Link.drop_count seg "loss")
+    (Netsim.Link.drop_count seg "corrupt")
+    (Netsim.Link.drop_count seg "mtu");
+  Fmt.pr "end-to-end reachable: %b@." (Scenarios.diamond_reachable d)
+
+let selfheal_cmd =
+  Cmd.v
+    (Cmd.info "selfheal"
+       ~doc:"Flap a core link of the diamond testbed and watch the reconciliation loop repair it")
+    Term.(const selfheal $ ticks_arg $ flap_cycles_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -176,4 +225,4 @@ let () =
     Cmd.info "conman" ~version:"1.0.0"
       ~doc:"CONMan: Complexity Oblivious Network Management (SIGCOMM 2007), reproduced in OCaml"
   in
-  exit (Cmd.eval (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd ]))

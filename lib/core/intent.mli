@@ -1,0 +1,88 @@
+(** Desired-state intents and their write-ahead journal.
+
+    Every state-changing NM operation records an intent {e before}
+    configuring anything, journalled as sexp entries so the desired state
+    of the network survives an NM crash: a restarted NM replays the
+    journal, rebuilds its intent set and re-converges ({!Nm.recover}). The
+    {!Monitor} loop then keeps each live intent healthy. *)
+
+(** What the operator asked for. *)
+type spec =
+  | Connect of Path_finder.goal  (** a layer-3 connectivity goal *)
+  | Connect_l2 of { scope : string list; from_eth : Ids.t; to_eth : Ids.t }
+  | Address of { target : Ids.t; addr : string; plen : int }
+  | Rate of { owner : Ids.t; pipe_id : string; rate_kbps : int }
+
+type status =
+  | Pending  (** journalled, not yet (successfully) configured *)
+  | Active  (** configured; last probe healthy *)
+  | Degraded  (** unhealthy; the monitor is attempting repairs *)
+  | Failed  (** repairs exhausted; escalated to the error report *)
+  | Retired  (** torn down *)
+
+type t = {
+  id : int;
+  spec : spec;
+  mutable status : status;
+  mutable script : Script_gen.script option;
+      (** the configuration currently realising the intent *)
+  mutable expected : (string * string list) list;
+      (** per-device structural state keys snapshotted when last healthy —
+          the baseline for the monitor's drift check *)
+  mutable tried : string list;
+      (** path signatures tried and failed since last healthy *)
+  mutable repairs : int;  (** successful re-achievements *)
+  mutable repair_attempts : int;  (** consecutive attempts since last healthy *)
+  mutable probe_failures : int;
+  mutable last_error : string option;
+}
+
+val make : id:int -> spec -> t
+val note_error : t -> string -> unit
+val spec_equal : spec -> spec -> bool
+val kind : t -> string
+val status_to_string : status -> string
+val pp : t Fmt.t
+
+(** {1 Sexp codec} *)
+
+val spec_to_sexp : spec -> Sexp.t
+val spec_of_sexp : Sexp.t -> spec
+
+(** {1 Journal} *)
+
+type entry =
+  | Begin of int * spec  (** the intent exists (written before configuring) *)
+  | Commit of int  (** its configuration applied successfully at least once *)
+  | Retire of int  (** torn down *)
+
+val entry_to_sexp : entry -> Sexp.t
+val entry_of_sexp : Sexp.t -> entry
+
+type journal
+
+val journal : unit -> journal
+val append : journal -> entry -> unit
+
+val on_append : journal -> (entry -> unit) -> unit
+(** Durability hook, called with each entry as it is appended (e.g. to
+    write it through to stable storage). *)
+
+val entries : journal -> entry list
+(** In append order. *)
+
+val journal_to_string : journal -> string
+(** One sexp entry per line — the durable representation. *)
+
+val journal_of_string : string -> journal
+(** Inverse of {!journal_to_string}; raises {!Sexp.Parse_error} on
+    malformed input. *)
+
+val replay : journal -> t list
+(** Rebuilds the live (non-retired) intents in id order: [Begin] creates a
+    [Pending] intent, [Commit] promotes it to [Active], [Retire] drops it.
+    Scripts and health are runtime state, left for {!Nm.recover} and the
+    monitor to re-establish. *)
+
+val next_id : journal -> int
+(** 1 + the highest intent id journalled (1 for an empty journal). *)

@@ -520,7 +520,13 @@ let make ~env ~mref ~ifaces ~domain () =
           | None -> ());
           poll st ());
       delete_pipe =
-        (fun pid -> st.pipes <- List.filter (fun p -> p.spec.Primitive.pipe_id <> pid) st.pipes);
+        (fun pid ->
+          (* tear the IP-IP tunnel iface down with the pipe: a stale tunnel
+             with the same endpoints would keep capturing decapsulation *)
+          let name = "ipip-" ^ pid in
+          if Netsim.Device.find_iface st.env.device name <> None then
+            run_cmd st.env.device ("ip tunnel del " ^ name);
+          st.pipes <- List.filter (fun p -> p.spec.Primitive.pipe_id <> pid) st.pipes);
       create_switch =
         (fun rule ->
           if

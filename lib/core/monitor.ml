@@ -1,0 +1,291 @@
+(* The reconciliation loop (§V applied continuously): a periodic task that
+   compares what each intent asked for with what the network actually does,
+   and repairs the difference.
+
+   Each tick advances the simulation one interval (with Net.run_until, so
+   scheduled data-plane faults fire where they were scheduled instead of
+   being fast-forwarded through), then walks the live intents:
+
+     probe_end_to_end  — is the data plane carrying traffic edge to edge?
+     drift check       — does show_actual still contain the structural
+                         state snapshotted when the intent was last
+                         healthy (pipes, switch rules, tunnels)?
+     repair            — drift with a healthy path is resynced by
+                         re-sending the script (idempotent); a dead path
+                         is re-achieved over the next-best path, avoiding
+                         devices diagnose marks as failing and backing the
+                         stale script out first.
+
+   Repairs are bounded: after [max_repair_attempts] consecutive failures
+   the intent is escalated to the NM's error report and left for an
+   operator (a later healthy probe, or a manual reconfigure, revives it).
+   The monitor drives the NM from outside the event loop like every other
+   NM helper — [run ~ticks] is the experiment driver. *)
+
+type config = {
+  interval_ns : int64; (* virtual time between reconciliation ticks *)
+  probe_slack_ns : int64; (* extra horizon for probes/repairs within a tick *)
+  max_repair_attempts : int;
+}
+
+let default_config =
+  { interval_ns = 500_000_000L; probe_slack_ns = 100_000_000L; max_repair_attempts = 4 }
+
+type event = { ev_time : int64; ev_intent : int; ev_what : string }
+
+type t = {
+  nm : Nm.t;
+  cfg : config;
+  mutable ticks : int;
+  mutable repairs : int;
+  mutable resyncs : int;
+  mutable escalations : int;
+  mutable events : event list; (* newest first *)
+}
+
+let create ?(config = default_config) nm =
+  { nm; cfg = config; ticks = 0; repairs = 0; resyncs = 0; escalations = 0; events = [] }
+
+let log t (intent : Intent.t) what =
+  let now = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm)) in
+  t.events <- { ev_time = now; ev_intent = intent.Intent.id; ev_what = what } :: t.events
+
+(* --- health checks ------------------------------------------------------------ *)
+
+let probe t (intent : Intent.t) =
+  match intent.Intent.script with
+  | Some s when s.Script_gen.path.Path_finder.visits <> [] ->
+      Nm.probe_end_to_end t.nm s.Script_gen.path
+  | _ -> (true, "no end-to-end probe for this intent")
+
+(* The structural part of a show_actual report: state keys, qualified by
+   module. Values are excluded (they carry traffic counters), as are
+   pending[..] entries (transient negotiation state). *)
+let structural_keys state =
+  List.concat_map
+    (fun ((m : Ids.t), kvs) ->
+      List.filter_map
+        (fun (k, _) ->
+          if String.length k >= 8 && String.sub k 0 8 = "pending[" then None
+          else Some (Ids.qualified m ^ "/" ^ k))
+        kvs)
+    state
+  |> List.sort_uniq compare
+
+(* Re-baselines the drift check: records, per device the script touches,
+   the structural keys present now. Called when the intent (re)converges. *)
+let snapshot t (intent : Intent.t) =
+  match intent.Intent.script with
+  | None -> intent.Intent.expected <- []
+  | Some s ->
+      intent.Intent.expected <-
+        List.filter_map
+          (fun (dev, prims) ->
+            if prims = [] then None
+            else
+              match Nm.show_actual t.nm dev with
+              | Some state -> Some (dev, structural_keys state)
+              | None -> None)
+          s.Script_gen.per_device
+
+(* Devices whose show_actual lost structural keys the baseline had. Extra
+   keys are fine (other intents add state); missing ones are drift. *)
+let drift t (intent : Intent.t) =
+  List.filter_map
+    (fun (dev, keys) ->
+      match Nm.show_actual t.nm dev with
+      | None -> None (* no answer is unreachability, not drift *)
+      | Some state ->
+          let present = structural_keys state in
+          let missing = List.filter (fun k -> not (List.mem k present)) keys in
+          if missing = [] then None else Some (dev, missing))
+    intent.Intent.expected
+
+(* --- repair ------------------------------------------------------------------- *)
+
+let mark_healthy t (intent : Intent.t) =
+  intent.Intent.status <- Intent.Active;
+  intent.Intent.repair_attempts <- 0;
+  intent.Intent.tried <- [];
+  if intent.Intent.expected = [] then snapshot t intent
+
+(* Failing modules along the intent's current path, excluding the goal's
+   edge devices (which every candidate path must visit). *)
+let diagnosed_avoid t (intent : Intent.t) =
+  match (intent.Intent.spec, intent.Intent.script) with
+  | Intent.Connect goal, Some s when s.Script_gen.path.Path_finder.visits <> [] ->
+      let ends = [ goal.Path_finder.g_from.Ids.dev; goal.Path_finder.g_to.Ids.dev ] in
+      Nm.diagnose t.nm s.Script_gen.path
+      |> List.filter_map (fun ((m : Ids.t), ok, _) -> if ok then None else Some m.Ids.dev)
+      |> List.sort_uniq compare
+      |> List.filter (fun d -> not (List.mem d ends))
+  | _ -> []
+
+let attempt_repair t (intent : Intent.t) detail =
+  if intent.Intent.repair_attempts >= t.cfg.max_repair_attempts then begin
+    if intent.Intent.status <> Intent.Failed then begin
+      t.escalations <- t.escalations + 1;
+      Nm.escalate t.nm intent
+        (Printf.sprintf "unrepairable after %d attempts: %s" intent.Intent.repair_attempts detail);
+      log t intent "escalated: repair attempts exhausted"
+    end
+  end
+  else begin
+    intent.Intent.repair_attempts <- intent.Intent.repair_attempts + 1;
+    intent.Intent.status <- Intent.Degraded;
+    let current =
+      match intent.Intent.script with
+      | Some s when s.Script_gen.path.Path_finder.visits <> [] ->
+          [ Path_finder.signature s.Script_gen.path ]
+      | _ -> []
+    in
+    let avoid = diagnosed_avoid t intent in
+    let exclude = List.sort_uniq compare (current @ intent.Intent.tried) in
+    intent.Intent.tried <- exclude;
+    let result =
+      match Nm.reconfigure ~exclude ~avoid t.nm intent with
+      | Ok () -> Ok ()
+      | Error _ when avoid <> [] ->
+          (* diagnosis over-pruned (no candidate avoids those devices):
+             fall back to signature exclusion alone *)
+          Nm.reconfigure ~exclude t.nm intent
+      | Error _ as e -> e
+    in
+    let current_sig () =
+      match intent.Intent.script with
+      | Some s when s.Script_gen.path.Path_finder.visits <> [] ->
+          Some (Path_finder.signature s.Script_gen.path)
+      | _ -> None
+    in
+    match result with
+    | Error e -> log t intent ("repair attempt failed: " ^ e)
+    | Ok () ->
+        let ok, _ = probe t intent in
+        if ok then begin
+          intent.Intent.repairs <- intent.Intent.repairs + 1;
+          t.repairs <- t.repairs + 1;
+          mark_healthy t intent;
+          intent.Intent.expected <- [];
+          snapshot t intent;
+          log t intent
+            (Printf.sprintf "repaired over alternate path [%s]"
+               (Option.value ~default:"?" (current_sig ())))
+        end
+        else begin
+          (match current_sig () with
+          | Some s -> intent.Intent.tried <- List.sort_uniq compare (s :: intent.Intent.tried)
+          | None -> ());
+          log t intent
+            (Printf.sprintf "repair attempt did not restore connectivity [%s]"
+               (Option.value ~default:"?" (current_sig ())))
+        end
+  end
+
+let reconcile t (intent : Intent.t) =
+  match intent.Intent.status with
+  | Intent.Retired -> ()
+  | Intent.Failed ->
+      (* escalated: only a healthy probe of a still-bound script revives it *)
+      if intent.Intent.script <> None then begin
+        let ok, _ = probe t intent in
+        if ok then begin
+          mark_healthy t intent;
+          log t intent "recovered without intervention"
+        end
+      end
+  | Intent.Pending -> (
+      (* journalled but never realised (NM died mid-achieve, or no path at
+         the time): keep trying to configure it *)
+      match Nm.reconfigure t.nm intent with
+      | Ok () ->
+          let ok, _ = probe t intent in
+          if ok then begin
+            mark_healthy t intent;
+            log t intent "configured from journal"
+          end
+      | Error e -> log t intent ("configuration failed: " ^ e))
+  | Intent.Active | Intent.Degraded -> (
+      if intent.Intent.script = None then (
+        match Nm.reconfigure t.nm intent with
+        | Ok () ->
+            let ok, _ = probe t intent in
+            if ok then begin
+              mark_healthy t intent;
+              log t intent "reconfigured"
+            end
+        | Error e -> log t intent ("reconfiguration failed: " ^ e))
+      else
+        let ok, detail = probe t intent in
+        if ok then
+          match drift t intent with
+          | [] -> mark_healthy t intent
+          | drifted ->
+              t.resyncs <- t.resyncs + 1;
+              Nm.resync_intent t.nm intent;
+              (* resync may legitimately change negotiated state (labels,
+                 vlan tags): re-baseline the drift check *)
+              intent.Intent.expected <- [];
+              snapshot t intent;
+              log t intent
+                (Printf.sprintf "drift on %s: resynced"
+                   (String.concat ", " (List.map fst drifted)))
+        else begin
+          intent.Intent.probe_failures <- intent.Intent.probe_failures + 1;
+          match drift t intent with
+          | _ :: _ as drifted ->
+              (* state went missing on a live path: resync before rerouting *)
+              t.resyncs <- t.resyncs + 1;
+              Nm.resync_intent t.nm intent;
+              intent.Intent.expected <- [];
+              log t intent
+                (Printf.sprintf "drift on %s: resynced"
+                   (String.concat ", " (List.map fst drifted)));
+              let ok2, detail2 = probe t intent in
+              if ok2 then mark_healthy t intent else attempt_repair t intent detail2
+          | [] -> attempt_repair t intent detail
+        end)
+
+(* --- driving ------------------------------------------------------------------ *)
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  let net = Nm.net t.nm in
+  let deadline = Int64.add (Netsim.Event_queue.now (Netsim.Net.eq net)) t.cfg.interval_ns in
+  ignore (Netsim.Net.run_until net ~deadline);
+  (* probes and repairs run inside a bounded horizon so later scheduled
+     faults stay in the future *)
+  Nm.set_horizon t.nm (Some (Int64.add deadline t.cfg.probe_slack_ns));
+  Fun.protect
+    ~finally:(fun () -> Nm.set_horizon t.nm None)
+    (fun () -> List.iter (reconcile t) (Nm.intents t.nm))
+
+let run t ~ticks =
+  for _ = 1 to ticks do
+    tick t
+  done
+
+(* --- observation -------------------------------------------------------------- *)
+
+let ticks t = t.ticks
+let repairs t = t.repairs
+let resyncs t = t.resyncs
+let escalations t = t.escalations
+let events t = List.rev t.events
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%8.3fs] intent-%d %s"
+    (Int64.to_float e.ev_time /. 1e9)
+    e.ev_intent e.ev_what
+
+let pp_health ppf t =
+  Fmt.pf ppf "intent     kind        status    repairs  attempts  probe-failures@.";
+  List.iter
+    (fun (i : Intent.t) ->
+      Fmt.pf ppf "intent-%-3d %-11s %-9s %7d %9d %15d%a@." i.Intent.id (Intent.kind i)
+        (Intent.status_to_string i.Intent.status)
+        i.Intent.repairs i.Intent.repair_attempts i.Intent.probe_failures
+        Fmt.(option (fun ppf e -> pf ppf "  (%s)" e))
+        i.Intent.last_error)
+    (Nm.intents t.nm);
+  Fmt.pf ppf "ticks=%d repairs=%d resyncs=%d escalations=%d@." t.ticks t.repairs t.resyncs
+    t.escalations

@@ -1,0 +1,51 @@
+(** The self-healing reconciliation loop.
+
+    A periodic task that keeps every live {!Intent.t} healthy: each tick
+    advances the simulation one interval (scheduled link faults fire in
+    place thanks to {!Netsim.Net.run_until}), end-to-end probes and a
+    [show_actual]-based drift check classify each intent, and the repair
+    ladder is: resync the script on drift, re-achieve over the next-best
+    path (avoiding diagnosed-failing devices, backing the stale script
+    out) on a dead path, and escalate to the NM's error report after a
+    bounded number of attempts. *)
+
+type config = {
+  interval_ns : int64;  (** virtual time between reconciliation ticks *)
+  probe_slack_ns : int64;
+      (** extra horizon granted to probes/repairs within a tick — keep it
+          below the interval so faults scheduled for later ticks stay put *)
+  max_repair_attempts : int;
+      (** consecutive failed repairs before an intent is escalated *)
+}
+
+val default_config : config
+(** 500 ms interval, 100 ms slack, 4 attempts. *)
+
+type event = { ev_time : int64; ev_intent : int; ev_what : string }
+
+type t
+
+val create : ?config:config -> Nm.t -> t
+
+val tick : t -> unit
+(** One reconciliation round: advance virtual time by the interval, then
+    probe / drift-check / repair every live intent. *)
+
+val run : t -> ticks:int -> unit
+
+(** {1 Observation} *)
+
+val ticks : t -> int
+val repairs : t -> int
+(** Successful re-achievements over an alternate path. *)
+
+val resyncs : t -> int
+(** Drift repairs (script re-sent in place). *)
+
+val escalations : t -> int
+val events : t -> event list
+(** Oldest first. *)
+
+val pp_event : event Fmt.t
+val pp_health : t Fmt.t
+(** The per-intent health table plus loop counters. *)

@@ -184,6 +184,17 @@ let make ~env ~mref () =
         | `Top -> (
             match spec.Primitive.peer_top with
             | None -> ()
+            | Some peer
+              when (match find_adj_by_pipe st spec.Primitive.pipe_id with
+                   | Some adj -> adj.a_peer = peer
+                   | None -> false) ->
+                (* idempotent re-execution (recovery replay, drift resync):
+                   keep the established adjacency and its label, just
+                   re-announce it to the peer *)
+                let adj = Option.get (find_adj_by_pipe st spec.Primitive.pipe_id) in
+                announce_label st adj;
+                replay_early ();
+                poll st ()
             | Some peer ->
                 run_cmd st.env.device "modprobe mpls";
                 run_cmd st.env.device "modprobe mpls4";
@@ -213,11 +224,30 @@ let make ~env ~mref () =
       (fun pid ->
         (match find_adj_by_pipe st pid with
         | Some adj ->
-            run_cmdf st.env.device "mpls ilm del label gen %d labelspace 0" adj.a_in_label
+            run_cmdf st.env.device "mpls ilm del label gen %d labelspace 0" adj.a_in_label;
+            (* the cross-connects (and their nhlfe entries) hanging off this
+               adjacency's label die with it *)
+            List.iter
+              (fun (l, k) -> if l = adj.a_in_label then run_cmdf st.env.device "mpls nhlfe del key %d" k)
+              st.xconnects;
+            st.xconnects <- List.filter (fun (l, _) -> l <> adj.a_in_label) st.xconnects
         | None -> ());
+        (* an FTN entry for a deleted up pipe must not satisfy the next
+           script's ftn-key query with a key pointing at the old adjacency:
+           pipe ids are reused across scripts *)
+        (match List.assoc_opt pid st.ftn with
+        | Some (key, _) -> run_cmdf st.env.device "mpls nhlfe del key %s" key
+        | None -> ());
+        st.ftn <- List.filter (fun (up, _) -> up <> pid) st.ftn;
+        (* reclaim the label if it was the most recent allocation, so a
+           backed-out script leaves the allocator where it found it *)
+        (match find_adj_by_pipe st pid with
+        | Some adj when adj.a_in_label = st.next_label - 1 -> st.next_label <- adj.a_in_label
+        | _ -> ());
         st.adjacencies <-
           List.filter (fun a -> a.a_spec.Primitive.pipe_id <> pid) st.adjacencies;
-        st.up_pipes <- List.filter (fun s -> s.Primitive.pipe_id <> pid) st.up_pipes);
+        st.up_pipes <- List.filter (fun s -> s.Primitive.pipe_id <> pid) st.up_pipes;
+        if st.up_pipes = [] && st.adjacencies = [] then st.completed <- false);
     create_switch =
       (fun rule ->
         if not (List.mem rule st.pending) then st.pending <- st.pending @ [ rule ];

@@ -32,6 +32,12 @@ type t = {
   mutable convey_log : (Ids.t * Ids.t * Peer_msg.t) list; (* figure-3 trace *)
   mutable active_scripts : Script_gen.script list; (* for dependency repair *)
   mutable auto_repair : bool;
+  journal : Intent.journal; (* write-ahead journal of desired state *)
+  mutable intents : Intent.t list; (* in id order *)
+  mutable next_intent : int;
+  mutable horizon : int64 option;
+      (* when set, [run] stops at this virtual time instead of draining the
+         queue — lets the monitor interleave with scheduled faults *)
 }
 
 let send t ~dst msg =
@@ -84,6 +90,10 @@ let fresh_req t =
   t.req <- t.req + 1;
   t.outstanding <- t.req :: t.outstanding;
   t.req
+
+(* Per-process NM boot counter; see [create]. *)
+let req_stride = 1 lsl 20
+let incarnations = ref 0
 
 let rec handle t ~src payload =
   match Wire.decode payload with
@@ -148,7 +158,14 @@ let rec handle t ~src payload =
       | Wire.Nm_takeover _ | Wire.Set_address _ | Wire.Bundle_ack _ | Wire.Ack _ ->
         ())
 
-and create ?transport ~chan ~net ~my_id () =
+and create ?transport ?journal ~chan ~net ~my_id () =
+  let journal = match journal with Some j -> j | None -> Intent.journal () in
+  (* Agents cache one reply per (nm, req) to make retried requests
+     idempotent, so request ids must never repeat across NM incarnations
+     that share an identity: a restarted NM reusing a dead incarnation's
+     ids would have its fresh bundles answered from that cache without
+     being executed. Each incarnation gets its own stride of id space. *)
+  incr incarnations;
   let t =
     {
       chan;
@@ -157,7 +174,7 @@ and create ?transport ~chan ~net ~my_id () =
       net;
       topo = Topology.create ();
       stats = { sent = 0; received = 0; acks = 0 };
-      req = 0;
+      req = !incarnations * req_stride;
       inflight = [];
       outstanding = [];
       actuals = [];
@@ -168,6 +185,10 @@ and create ?transport ~chan ~net ~my_id () =
       convey_log = [];
       active_scripts = [];
       auto_repair = false;
+      journal;
+      intents = Intent.replay journal;
+      next_intent = Intent.next_id journal;
+      horizon = None;
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:my_id (fun ~src payload -> handle t ~src payload);
@@ -185,7 +206,50 @@ let reset_stats t =
   t.stats.received <- 0;
   t.stats.acks <- 0
 
-let run t = ignore (Netsim.Net.run t.net)
+let run t =
+  match t.horizon with
+  | None -> ignore (Netsim.Net.run t.net)
+  | Some deadline ->
+      (* bounded, non-advancing: the probe consumes only the virtual time
+         its own events take, so several probes fit inside one tick *)
+      ignore (Netsim.Net.run_until ~advance:false t.net ~deadline)
+
+let set_horizon t h = t.horizon <- h
+
+(* --- intents ------------------------------------------------------------------ *)
+
+(* Journals the intent before anything is configured (write-ahead). An
+   equivalent live intent is reused, so re-asking for the same goal after a
+   failure does not duplicate desired state. *)
+let record_intent t spec =
+  match
+    List.find_opt
+      (fun (i : Intent.t) ->
+        i.Intent.status <> Intent.Retired && Intent.spec_equal i.Intent.spec spec)
+      t.intents
+  with
+  | Some i -> i
+  | None ->
+      let i = Intent.make ~id:t.next_intent spec in
+      t.next_intent <- t.next_intent + 1;
+      t.intents <- t.intents @ [ i ];
+      Intent.append t.journal (Intent.Begin (i.Intent.id, spec));
+      i
+
+let commit_intent t (i : Intent.t) =
+  Intent.append t.journal (Intent.Commit i.Intent.id);
+  i.Intent.status <- Intent.Active
+
+let bind_intent t (i : Intent.t) script =
+  i.Intent.script <- Some script;
+  i.Intent.expected <- [];
+  commit_intent t i
+
+let retire_intent t (i : Intent.t) =
+  if i.Intent.status <> Intent.Retired then begin
+    Intent.append t.journal (Intent.Retire i.Intent.id);
+    i.Intent.status <- Intent.Retired
+  end
 
 (* --- discovery -------------------------------------------------------------- *)
 
@@ -227,12 +291,18 @@ let abort_script t (script : Script_gen.script) =
   t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
   run t
 
-let achieve ?(configure = true) ?(max_attempts = 4) t goal =
+(* The achievement pipeline without intent bookkeeping. [exclude] skips
+   candidate paths by signature (the monitor's "next-best path" lever) and
+   [avoid] skips paths visiting the listed devices (diagnosed as faulty). *)
+let achieve_raw ?(configure = true) ?(max_attempts = 4) ?(exclude = []) ?(avoid = []) t goal =
   let rec go attempts =
     let paths = find_paths t goal in
     let viable =
       List.filter
-        (fun p -> List.for_all (Topology.is_reachable t.topo) (devices_of_path p))
+        (fun p ->
+          List.for_all (Topology.is_reachable t.topo) (devices_of_path p)
+          && (exclude = [] || not (List.mem (Path_finder.signature p) exclude))
+          && (avoid = [] || not (List.exists (fun d -> List.mem d avoid) (devices_of_path p))))
         paths
     in
     match Path_finder.choose t.topo viable with
@@ -269,6 +339,20 @@ let achieve ?(configure = true) ?(max_attempts = 4) t goal =
   in
   go max_attempts
 
+let achieve ?(configure = true) ?max_attempts t goal =
+  if not configure then achieve_raw ~configure:false ?max_attempts t goal
+  else begin
+    (* write-ahead: the intent is journalled before any device is touched *)
+    let intent = record_intent t (Intent.Connect goal) in
+    match achieve_raw ~configure:true ?max_attempts t goal with
+    | Ok (_, _, script) as ok ->
+        bind_intent t intent script;
+        ok
+    | Error e ->
+        Intent.note_error intent e;
+        Error e
+  end
+
 (* --- multiple NMs (§V): warm standby and takeover ------------------------------ *)
 
 (* Copies the primary's learnt state (topology, domain knowledge, active
@@ -280,6 +364,8 @@ let replicate_to t ~(standby : t) =
   standby.topo.Topology.domain_prefixes <- t.topo.Topology.domain_prefixes;
   standby.active_scripts <- t.active_scripts;
   standby.auto_repair <- t.auto_repair;
+  standby.intents <- t.intents;
+  standby.next_intent <- max standby.next_intent t.next_intent;
   (* requests the primary has issued but not yet seen confirmed: the
      standby must be able to replay them if it takes over mid-script *)
   standby.inflight <- t.inflight;
@@ -304,15 +390,20 @@ let take_over t =
 
 (* Assigns an address to an IP module — the task the paper deliberately
    centralises in the NM "as DHCP servers do today" (§II-E). *)
-let assign_address t ~target ~addr ~plen =
+let send_address t ~target ~addr ~plen =
   t.req <- t.req + 1;
   send_req t ~dst:target.Ids.dev ~req:t.req
     (Wire.Set_address { req = t.req; target; addr; plen });
   run t
 
+let assign_address t ~target ~addr ~plen =
+  let intent = record_intent t (Intent.Address { target; addr; plen }) in
+  send_address t ~target ~addr ~plen;
+  commit_intent t intent
+
 (* Installs performance-enforcement state (§II-D.1(c)): rate-limit the
    traffic a module sends into a pipe. *)
-let enforce_rate t ~owner ~pipe_id ~rate_kbps =
+let send_rate t ~owner ~pipe_id ~rate_kbps =
   t.req <- t.req + 1;
   send_req t ~dst:owner.Ids.dev ~req:t.req
     (Wire.Bundle
@@ -323,6 +414,11 @@ let enforce_rate t ~owner ~pipe_id ~rate_kbps =
        });
   run t
 
+let enforce_rate t ~owner ~pipe_id ~rate_kbps =
+  let intent = record_intent t (Intent.Rate { owner; pipe_id; rate_kbps }) in
+  send_rate t ~owner ~pipe_id ~rate_kbps;
+  commit_intent t intent
+
 let remove_rate t ~owner ~pipe_id =
   t.req <- t.req + 1;
   send_req t ~dst:owner.Ids.dev ~req:t.req
@@ -332,14 +428,31 @@ let remove_rate t ~owner ~pipe_id =
          cmds = [ Primitive.Delete_perf { owner; pipe_id } ];
          annex = annex_of t None;
        });
+  List.iter
+    (fun (i : Intent.t) ->
+      match i.Intent.spec with
+      | Intent.Rate { owner = o; pipe_id = p; rate_kbps = _ }
+        when Ids.equal o owner && p = pipe_id ->
+          retire_intent t i
+      | _ -> ())
+    t.intents;
   run t
 
 (* Tears a configured script down: deletes switch rules (undoing the
-   device-level state) and pipes, and stops maintaining it. *)
+   device-level state) and pipes, and stops maintaining it. The intent it
+   realised (if any) is retired in the journal. *)
 let teardown t (script : Script_gen.script) =
   let del = Script_gen.deletion_script script in
   send_script t del;
   t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
+  List.iter
+    (fun (i : Intent.t) ->
+      match i.Intent.script with
+      | Some s when s == script ->
+          i.Intent.script <- None;
+          retire_intent t i
+      | _ -> ())
+    t.intents;
   run t
 
 (* --- layer-2 (VLAN) goals: figure 9 ------------------------------------------
@@ -394,7 +507,7 @@ let customer_phys t (eth : Ids.t) ~scope =
       if not (List.mem p.Abstraction.peer_device scope) then Some p.Abstraction.phys_id else None)
     a.Abstraction.physical
 
-let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
+let achieve_l2_raw ?(configure = true) t ~scope ~from_eth ~to_eth =
   match device_chain t ~scope ~src_dev:from_eth.Ids.dev ~dst_dev:to_eth.Ids.dev with
   | None -> Error "no layer-2 chain between the switches"
   | Some chain -> (
@@ -558,6 +671,85 @@ let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
             Ok script
         | _ -> Error "could not locate the customer-facing ports")
 
+let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
+  if not configure then achieve_l2_raw ~configure:false t ~scope ~from_eth ~to_eth
+  else begin
+    let intent = record_intent t (Intent.Connect_l2 { scope; from_eth; to_eth }) in
+    match achieve_l2_raw ~configure:true t ~scope ~from_eth ~to_eth with
+    | Ok script as ok ->
+        bind_intent t intent script;
+        ok
+    | Error e ->
+        Intent.note_error intent e;
+        Error e
+  end
+
+(* --- reconciliation support (used by Monitor) --------------------------------- *)
+
+(* Re-realises an intent: backs the stale script out of the devices that
+   still answer, then re-achieves. [exclude]/[avoid] steer layer-3 goals
+   onto the next-best path. *)
+let reconfigure ?(exclude = []) ?(avoid = []) t (intent : Intent.t) =
+  let back_out () =
+    match intent.Intent.script with
+    | Some old ->
+        intent.Intent.script <- None;
+        abort_script t old
+    | None -> ()
+  in
+  match intent.Intent.spec with
+  | Intent.Connect goal -> (
+      back_out ();
+      match achieve_raw ~configure:true ~exclude ~avoid t goal with
+      | Ok (_, _, script) ->
+          bind_intent t intent script;
+          Ok ()
+      | Error e ->
+          Intent.note_error intent e;
+          Error e)
+  | Intent.Connect_l2 { scope; from_eth; to_eth } -> (
+      back_out ();
+      match achieve_l2_raw ~configure:true t ~scope ~from_eth ~to_eth with
+      | Ok script ->
+          bind_intent t intent script;
+          Ok ()
+      | Error e ->
+          Intent.note_error intent e;
+          Error e)
+  | Intent.Address { target; addr; plen } ->
+      send_address t ~target ~addr ~plen;
+      commit_intent t intent;
+      Ok ()
+  | Intent.Rate { owner; pipe_id; rate_kbps } ->
+      send_rate t ~owner ~pipe_id ~rate_kbps;
+      commit_intent t intent;
+      Ok ()
+
+(* Re-converges after a restart from the journal: every live intent is
+   re-realised. Agents execute re-issued primitives idempotently and the
+   script generator is deterministic, so an intent that survived the crash
+   converges to the same configuration without duplicates. *)
+let recover t =
+  List.iter
+    (fun (i : Intent.t) ->
+      if i.Intent.status <> Intent.Retired then ignore (reconfigure t i))
+    t.intents
+
+(* Re-sends an intent's script as-is — the repair for configuration drift
+   (device state lost a piece the script should have pinned). *)
+let resync_intent t (intent : Intent.t) =
+  match intent.Intent.script with
+  | Some script ->
+      send_script t script;
+      run t
+  | None -> ()
+
+(* Repairs exhausted: the intent needs an operator. *)
+let escalate t (intent : Intent.t) msg =
+  intent.Intent.status <- Intent.Failed;
+  Intent.note_error intent msg;
+  t.errors <- (Printf.sprintf "intent-%d" intent.Intent.id, msg) :: t.errors
+
 (* --- debugging (§II-D.2) ------------------------------------------------------ *)
 
 let self_test ?against t target =
@@ -596,6 +788,9 @@ let probe_end_to_end t (path : Path_finder.path) =
   | _ -> (false, "path has no customer-edge IP modules")
 
 let topology t = t.topo
+let net t = t.net
+let journal t = t.journal
+let intents t = t.intents
 let conveys t = List.rev t.convey_log
 let completions t = t.completions
 let errors t = t.errors

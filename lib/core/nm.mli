@@ -13,16 +13,34 @@
 type t
 
 val create :
-  ?transport:Mgmt.Reliable.t -> chan:Mgmt.Channel.t -> net:Netsim.Net.t -> my_id:string -> unit -> t
+  ?transport:Mgmt.Reliable.t ->
+  ?journal:Intent.journal ->
+  chan:Mgmt.Channel.t ->
+  net:Netsim.Net.t ->
+  my_id:string ->
+  unit ->
+  t
 (** A NM subscribed to the channel as device [my_id]. When [transport] is
     the {!Mgmt.Reliable} layer under [chan], the NM listens for delivery
     give-ups and marks the abandoned device unreachable in its
     {!topology}, to be routed around by {!achieve} until a fresh [Hello]
     shows it recovered (which also re-syncs the device's slices of every
-    active script). *)
+    active script).
+
+    [journal] seeds the NM's write-ahead intent journal: live intents are
+    replayed from it at creation, modelling a restart from stable storage
+    — call {!recover} (after discovery) to re-converge the network to
+    them. Without it the NM starts with a fresh, empty journal. *)
 
 val run : t -> unit
-(** Runs the network to quiescence. *)
+(** Runs the network to quiescence — or up to the current horizon when one
+    is set. *)
+
+val set_horizon : t -> int64 option -> unit
+(** Bounds every internal [run] at the given virtual time, so scheduled
+    data-plane faults are not fast-forwarded through. The monitor sets
+    this around each reconciliation tick; [None] restores
+    run-to-quiescence. *)
 
 (** {1 Discovery} *)
 
@@ -33,6 +51,7 @@ val show_actual : t -> string -> (Ids.t * (string * string) list) list option
 (** showActual at one device: per-module low-level state report. *)
 
 val topology : t -> Topology.t
+val net : t -> Netsim.Net.t
 
 (** {1 Goal achievement (§III-C)} *)
 
@@ -82,7 +101,38 @@ val enforce_rate : t -> owner:Ids.t -> pipe_id:string -> rate_kbps:int -> unit
 val remove_rate : t -> owner:Ids.t -> pipe_id:string -> unit
 
 val teardown : t -> Script_gen.script -> unit
-(** Deletes the script's switch rules and pipes, undoing the device state. *)
+(** Deletes the script's switch rules and pipes, undoing the device state,
+    and retires the intent the script realised (if any). *)
+
+(** {1 Intents and reconciliation}
+
+    {!achieve}, {!achieve_l2}, {!assign_address} and {!enforce_rate}
+    journal an {!Intent.t} before configuring (write-ahead), so desired
+    state survives an NM crash; {!teardown} and {!remove_rate} retire it.
+    The {!Monitor} drives {!reconfigure}/{!resync_intent}/{!escalate} to
+    keep live intents healthy. *)
+
+val journal : t -> Intent.journal
+val intents : t -> Intent.t list
+(** Live and historical intents, in id order. *)
+
+val recover : t -> unit
+(** Re-realises every live intent — the second half of a restart from the
+    journal (after discovery has repopulated {!topology}). Idempotent
+    agents and a deterministic script generator make this converge to the
+    same configuration as an uninterrupted run. *)
+
+val reconfigure : ?exclude:string list -> ?avoid:string list -> t -> Intent.t -> (unit, string) result
+(** Re-realises one intent, first backing its stale script (if any) out of
+    the devices that still answer. For layer-3 goals, [exclude] skips
+    candidate paths by {!Path_finder.signature} and [avoid] skips paths
+    visiting the listed device ids — the monitor's next-best-path lever. *)
+
+val resync_intent : t -> Intent.t -> unit
+(** Re-sends the intent's script as-is (idempotent) — the drift repair. *)
+
+val escalate : t -> Intent.t -> string -> unit
+(** Marks the intent [Failed] and records the failure in {!errors}. *)
 
 (** {1 Debugging (§II-D.2)} *)
 

@@ -68,7 +68,22 @@ let vpn_goal ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) () =
     g_scope = [ "id-A"; "id-B"; "id-C" ];
   }
 
-let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliability () =
+(* The NM-side configuration knowledge of figure 4: which IP module serves
+   which address domain. Shared between the initial build and [vpn_adopt]
+   (a replacement NM re-learning the deployment after a restart). *)
+let vpn_domain_knowledge nm =
+  Topology.set_domains (Nm.topology nm)
+    ~module_domains:
+      [
+        (Ids.v "IP" "g" "id-A", "C1");
+        (Ids.v "IP" "h" "id-A", "ISP");
+        (Ids.v "IP" "i" "id-B", "ISP");
+        (Ids.v "IP" "j" "id-C", "ISP");
+        (Ids.v "IP" "k" "id-C", "C1");
+      ]
+    ~domain_prefixes:[ ("C1-S1", "10.0.1.0/24"); ("C1-S2", "10.0.2.0/24") ]
+
+let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliability ?journal () =
   let tb = Testbeds.vpn () in
   let net = tb.Testbeds.vpn_net in
   let managed = [ tb.Testbeds.ra; tb.Testbeds.rb; tb.Testbeds.rc ] in
@@ -145,21 +160,12 @@ let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliab
      host_agent tb.Testbeds.host1 "x";
      host_agent tb.Testbeds.host2 "y"
    end);
-  let nm = Nm.create ~transport ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport ?journal ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) [ agent_a; agent_b; agent_c ];
   Nm.run nm;
   let scope = [ "id-A"; "id-B"; "id-C" ] in
   Nm.harvest_potentials nm scope;
-  Topology.set_domains (Nm.topology nm)
-    ~module_domains:
-      [
-        (Ids.v "IP" "g" "id-A", "C1");
-        (Ids.v "IP" "h" "id-A", "ISP");
-        (Ids.v "IP" "i" "id-B", "ISP");
-        (Ids.v "IP" "j" "id-C", "ISP");
-        (Ids.v "IP" "k" "id-C", "C1");
-      ]
-    ~domain_prefixes:[ ("C1-S1", "10.0.1.0/24"); ("C1-S2", "10.0.2.0/24") ];
+  vpn_domain_knowledge nm;
   {
     tb;
     chan;
@@ -174,6 +180,17 @@ let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliab
 
 let vpn_reachable v = Testbeds.vpn_reachable v.tb
 
+(* Re-runs discovery for a replacement NM over the same testbed: agents
+   re-announce (their Hellos now reach the new NM, which subscribed under
+   the same station id), potentials are harvested and the operator's
+   domain knowledge re-entered. The second half of an NM restart; pair it
+   with [Nm.recover] to re-converge the journalled intents. *)
+let vpn_adopt v nm =
+  List.iter (fun (_, a) -> Agent.announce a v.tb.Testbeds.vpn_net) v.agents;
+  Nm.run nm;
+  Nm.harvest_potentials nm v.scope;
+  vpn_domain_knowledge nm
+
 (* --- generalised n-router chain (Table VI sweep) ------------------------------ *)
 
 type chain = {
@@ -187,7 +204,7 @@ type chain = {
 }
 
 let build_chain ?(channel = `Oob) ?(addressed = true)
-    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed ?reliability n =
+    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed ?reliability ?journal n =
   let tb = Testbeds.chain ~addressed n in
   let net = tb.Testbeds.chain_net in
   let routers = Array.to_list tb.Testbeds.routers in
@@ -248,7 +265,7 @@ let build_chain ?(channel = `Oob) ?(addressed = true)
             ])
       routers
   in
-  let nm = Nm.create ~transport:ctransport ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:ctransport ?journal ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) agents;
   Nm.run nm;
   let scope = List.map (fun d -> d.Device.dev_id) routers in
@@ -285,7 +302,7 @@ type diamond = {
   dagents : (string * Agent.t) list; (* device id -> agent *)
 }
 
-let build_diamond ?(channel = `Oob) ?fault_seed ?reliability () =
+let build_diamond ?(channel = `Oob) ?fault_seed ?reliability ?journal () =
   let tb = Testbeds.diamond () in
   let net = tb.Testbeds.dia_net in
   let managed = [ tb.Testbeds.dia_a; tb.Testbeds.dia_b1; tb.Testbeds.dia_b2; tb.Testbeds.dia_c ] in
@@ -340,7 +357,7 @@ let build_diamond ?(channel = `Oob) ?fault_seed ?reliability () =
         ];
     ]
   in
-  let nm = Nm.create ~transport:dtransport ~chan ~net ~my_id:nm_station_id () in
+  let nm = Nm.create ~transport:dtransport ?journal ~chan ~net ~my_id:nm_station_id () in
   List.iter (fun a -> Agent.announce a net) agents;
   Nm.run nm;
   let scope = [ "id-A"; "id-B1"; "id-B2"; "id-C" ] in
@@ -372,6 +389,22 @@ let build_diamond ?(channel = `Oob) ?fault_seed ?reliability () =
   }
 
 let diamond_reachable d = Testbeds.diamond_reachable d.dtb
+
+let diamond_adopt d nm =
+  List.iter (fun (_, a) -> Agent.announce a d.dtb.Testbeds.dia_net) d.dagents;
+  Nm.run nm;
+  Nm.harvest_potentials nm d.dscope;
+  Topology.set_domains (Nm.topology nm)
+    ~module_domains:
+      [
+        (Ids.v "IP" "g" "id-A", "C1");
+        (Ids.v "IP" "h" "id-A", "ISP");
+        (Ids.v "IP" "i1" "id-B1", "ISP");
+        (Ids.v "IP" "i2" "id-B2", "ISP");
+        (Ids.v "IP" "j" "id-C", "ISP");
+        (Ids.v "IP" "k" "id-C", "C1");
+      ]
+    ~domain_prefixes:[ ("C1-S1", "10.0.1.0/24"); ("C1-S2", "10.0.2.0/24") ]
 
 (* Path classification helpers for picking the pure-GRE/MPLS/IP-IP paths out
    of the enumeration. *)

@@ -30,19 +30,27 @@ val build_vpn :
   ?tradeoffs:string list ->
   ?fault_seed:int ->
   ?reliability:Mgmt.Reliable.config ->
+  ?journal:Intent.journal ->
   unit ->
   vpn
 (** [secure:true] additionally registers the figure-1 IPsec pair on the
     edge routers: ESP data modules whose "esp-keys" dependency is satisfied
     by IKE control modules (§II-F). [fault_seed] (default 42) seeds the
     fault-injection layer — a no-op until knobs on [faults] are turned;
-    [reliability] overrides {!Mgmt.Reliable.default_config}. Both apply to
-    every builder below. *)
+    [reliability] overrides {!Mgmt.Reliable.default_config}; [journal]
+    seeds the NM's intent journal (an NM restarting from stable storage).
+    All apply to the other builders below too. *)
 
 val vpn_goal : ?tradeoffs:string list -> unit -> Path_finder.goal
 
 val vpn_reachable : vpn -> bool
 (** Bidirectional ICMP reachability between the customer hosts. *)
+
+val vpn_adopt : vpn -> Nm.t -> unit
+(** Points a replacement NM (e.g. one created from a saved
+    {!Intent.journal}) at the same deployment: re-announces every agent,
+    harvests potentials and re-enters the operator's domain knowledge.
+    Follow with {!Nm.recover} to re-converge the journalled intents. *)
 
 (** {1 n-router chains (the Table-VI sweep)} *)
 
@@ -62,6 +70,7 @@ val build_chain :
   ?tradeoffs:string list ->
   ?fault_seed:int ->
   ?reliability:Mgmt.Reliable.config ->
+  ?journal:Intent.journal ->
   int ->
   chain
 (** [addressed:false] leaves the ISP routers without addresses: the NM is
@@ -83,8 +92,16 @@ type diamond = {
 }
 
 val build_diamond :
-  ?channel:channel_kind -> ?fault_seed:int -> ?reliability:Mgmt.Reliable.config -> unit -> diamond
+  ?channel:channel_kind ->
+  ?fault_seed:int ->
+  ?reliability:Mgmt.Reliable.config ->
+  ?journal:Intent.journal ->
+  unit ->
+  diamond
 val diamond_reachable : diamond -> bool
+
+val diamond_adopt : diamond -> Nm.t -> unit
+(** Like {!vpn_adopt}, for the diamond deployment. *)
 
 (** {1 Path classification helpers} *)
 

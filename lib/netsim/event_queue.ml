@@ -47,3 +47,21 @@ let run ?(max_events = 10_000_000) t =
   in
   loop ();
   !count
+
+let run_until ?(max_events = 10_000_000) ?(advance = true) t ~deadline =
+  let count = ref 0 in
+  let rec loop () =
+    match M.min_binding_opt t.events with
+    | Some (((time, _) as key), f) when time <= deadline ->
+        if !count >= max_events then raise Budget_exhausted;
+        incr count;
+        t.processed <- t.processed + 1;
+        t.events <- M.remove key t.events;
+        t.now <- time;
+        f ();
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if advance && deadline > t.now then t.now <- deadline;
+  !count

@@ -13,3 +13,12 @@ val schedule : t -> delay_ns:int64 -> (unit -> unit) -> unit
 val run : ?max_events:int -> t -> int
 (** Runs events until the queue drains; returns the number processed.
     Raises {!Budget_exhausted} past [max_events] (guards against loops). *)
+
+val run_until : ?max_events:int -> ?advance:bool -> t -> deadline:int64 -> int
+(** Runs events with timestamps [<= deadline], then advances the clock to
+    [deadline], leaving later events pending. Lets a driver interleave
+    scheduled faults (link flaps, probes) with the simulation instead of
+    fast-forwarding through them. [advance:false] leaves the clock at the
+    last processed event instead — a bounded run that consumes no more
+    virtual time than its events took (the NM's horizon mode). Returns the
+    number processed; raises {!Budget_exhausted} past [max_events]. *)

@@ -16,7 +16,8 @@ let emit ~device ~what ?(port = "") frame =
   if !enabled && !counter < limit then begin
     incr counter;
     let detail =
-      if what = "rx" || what = "tx" then Fmt.str "%s" (Packet.Frame.signature frame)
+      if what = "rx" || what = "tx" || what = "drop" then
+        Fmt.str "%s" (Packet.Frame.signature frame)
       else Bytes.to_string frame
     in
     events := { seq = !counter; device; what; port; detail } :: !events

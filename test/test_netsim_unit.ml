@@ -91,6 +91,122 @@ let test_link_cut_mid_flight () =
   let _ = Event_queue.run eq in
   check tint "frame in flight dropped by cut" 0 !got
 
+let test_eq_run_until () =
+  let eq = Event_queue.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Event_queue.schedule eq ~delay_ns:d (fun () -> fired := d :: !fired))
+    [ 100L; 200L; 300L ];
+  let n = Event_queue.run_until eq ~deadline:150L in
+  check tint "one event before deadline" 1 n;
+  check tbool "clock at deadline" true (Event_queue.now eq = 150L);
+  check tint "later events still pending" 2 (Event_queue.pending eq);
+  let n = Event_queue.run_until eq ~deadline:1_000L in
+  check tint "rest processed" 2 n;
+  check tbool "only up to deadline" true (List.rev !fired = [ 100L; 200L; 300L ]);
+  check tbool "clock at second deadline" true (Event_queue.now eq = 1_000L)
+
+let test_link_percause_counters () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment ~mtu:100 eq in
+  let a = Link.attach seg and b = Link.attach seg in
+  let got = ref 0 in
+  Link.set_rx b (fun _ -> incr got);
+  Link.send a (Bytes.create 101);
+  (* mtu drop *)
+  Link.cut seg;
+  Link.send a (Bytes.create 10);
+  (* cut drop *)
+  let _ = Event_queue.run eq in
+  check tint "nothing delivered" 0 !got;
+  check tint "mtu cause" 1 (Link.drop_count seg "mtu");
+  check tint "cut cause" 1 (Link.drop_count seg "cut");
+  check tint "no loss drops" 0 (Link.drop_count seg "loss");
+  check tint "total is the sum" 2 (Link.dropped seg)
+
+let test_link_seeded_loss () =
+  let run seed =
+    let eq = Event_queue.create () in
+    let seg = Link.create_segment eq in
+    let a = Link.attach seg and b = Link.attach seg in
+    let got = ref 0 in
+    Link.set_rx b (fun _ -> incr got);
+    Link.set_seed seg seed;
+    Link.set_loss seg 0.5;
+    for _ = 1 to 200 do
+      Link.send a (Bytes.create 10)
+    done;
+    let _ = Event_queue.run eq in
+    (!got, Link.drop_count seg "loss")
+  in
+  let got, lost = run 7L in
+  check tint "every frame accounted" 200 (got + lost);
+  check tbool "some delivered" true (got > 0);
+  check tbool "some lost" true (lost > 0);
+  check tbool "same seed, same outcome" true (run 7L = (got, lost));
+  check tbool "different seed, different outcome" true (run 8L <> (got, lost))
+
+let test_link_corruption_dropped_by_crc () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment eq in
+  let a = Link.attach seg and b = Link.attach seg in
+  let got = ref 0 in
+  Link.set_rx b (fun _ -> incr got);
+  Link.set_corrupt seg 1.0;
+  Trace.with_trace (fun () ->
+      Link.send a (Bytes.create 10);
+      let _ = Event_queue.run eq in
+      ());
+  check tint "never delivered" 0 !got;
+  check tint "counted as corrupt" 1 (Link.drop_count seg "corrupt");
+  check tbool "drop traced" true
+    (List.exists
+       (fun e -> e.Trace.what = "drop" && e.Trace.port = "corrupt")
+       (Trace.get ()))
+
+let test_link_flap_schedule () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment ~latency_ns:1L eq in
+  let a = Link.attach seg and b = Link.attach seg in
+  let got = ref 0 in
+  Link.set_rx b (fun _ -> incr got);
+  Link.flap seg ~cycles:2 ~first_down_ns:100L ~down_ns:100L ~up_ns:100L;
+  (* up: 0-99, down: 100-199, up: 200-299, down: 300-399, up: 400- *)
+  let send_at t expect =
+    let _ = Event_queue.run_until eq ~deadline:t in
+    check tbool (Printf.sprintf "cut state at %Ldns" t) expect (Link.is_cut seg);
+    Link.send a (Bytes.create 10)
+  in
+  send_at 50L false;
+  send_at 150L true;
+  send_at 250L false;
+  send_at 350L true;
+  send_at 450L false;
+  let _ = Event_queue.run eq in
+  check tint "only the up-phase frames arrive" 3 !got;
+  check tint "two flap cycles counted" 2 (Link.flaps seg);
+  check tint "down-phase frames dropped as cut" 2 (Link.drop_count seg "cut")
+
+let test_link_endpoint_ids_monotonic () =
+  let eq = Event_queue.create () in
+  let seg = Link.create_segment eq in
+  let a = Link.attach seg in
+  let b = Link.attach seg in
+  Link.detach b;
+  let c = Link.attach seg in
+  check tbool "detached id never reused" true (Link.endpoint_id c <> Link.endpoint_id b);
+  check tbool "distinct from the survivor" true (Link.endpoint_id c <> Link.endpoint_id a);
+  let got_a = ref 0 and got_b = ref 0 and got_c = ref 0 in
+  Link.set_rx a (fun _ -> incr got_a);
+  Link.set_rx b (fun _ -> incr got_b);
+  Link.set_rx c (fun _ -> incr got_c);
+  Link.send a (Bytes.create 10);
+  Link.send c (Bytes.create 10);
+  let _ = Event_queue.run eq in
+  check tint "a hears c" 1 !got_a;
+  check tint "c hears a" 1 !got_c;
+  check tint "detached endpoint hears nothing" 0 !got_b
+
 (* --- counters and tracing -------------------------------------------------------- *)
 
 let test_counters () =
@@ -336,12 +452,18 @@ let () =
           Alcotest.test_case "time ordering" `Quick test_eq_time_ordering;
           Alcotest.test_case "budget guard" `Quick test_eq_budget;
           Alcotest.test_case "negative delay" `Quick test_eq_negative_delay_rejected;
+          Alcotest.test_case "run until deadline" `Quick test_eq_run_until;
         ] );
       ( "links",
         [
           Alcotest.test_case "mtu drop" `Quick test_link_mtu_drop;
           Alcotest.test_case "broadcast segment" `Quick test_link_broadcast_segment;
           Alcotest.test_case "cut mid flight" `Quick test_link_cut_mid_flight;
+          Alcotest.test_case "per-cause drop counters" `Quick test_link_percause_counters;
+          Alcotest.test_case "seeded loss" `Quick test_link_seeded_loss;
+          Alcotest.test_case "corruption drops at crc" `Quick test_link_corruption_dropped_by_crc;
+          Alcotest.test_case "scheduled flapping" `Quick test_link_flap_schedule;
+          Alcotest.test_case "monotonic endpoint ids" `Quick test_link_endpoint_ids_monotonic;
         ] );
       ( "observability",
         [
