@@ -315,12 +315,167 @@ let selfheal_datapoints () =
   print_endline "\n===== self-healing data points (BENCH_selfheal.json) =====";
   print_string json
 
+(* --- fault-localization data points (BENCH_diagnose.json) ----------------------- *)
+
+(* Three scripted faults on the VPN testbed, each localized purely from
+   scraped showPerf counters (the NM never peeks at simulator state), plus
+   a diamond incident where a telemetry-equipped Monitor must pick its
+   first repair rung from the diagnosis. Reported per fault: the expected
+   and diagnosed root cause, and the detection latency in virtual time
+   (fault injection to first correct top-ranked diagnosis). *)
+let diagnose_datapoints () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let matches expected (v : Diagnose.verdict) =
+    match (expected, v) with
+    | "cut_link", Diagnose.Cut_link _ -> true
+    | "misconfigured_module", Diagnose.Misconfigured_module _ -> true
+    | "lossy_segment", Diagnose.Lossy_segment _ -> true
+    | "unreachable_agent", Diagnose.Unreachable_agent _ -> true
+    | _ -> false
+  in
+  let scenario ~name ~expected ~pick ~inject =
+    let v = Scenarios.build_vpn () in
+    let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+    let path = List.find pick paths in
+    let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal path in
+    let tel = Telemetry.create ~scope:v.Scenarios.scope v.Scenarios.nm in
+    (* several exchanges per scrape so partial loss shows as a partial
+       delta rather than an all-or-nothing one *)
+    let pump () =
+      for _ = 1 to 4 do
+        ignore (Scenarios.vpn_reachable v)
+      done
+    in
+    for _ = 1 to 2 do
+      pump ();
+      Telemetry.scrape tel
+    done;
+    let now () =
+      Netsim.Event_queue.now (Netsim.Net.eq v.Scenarios.tb.Netsim.Testbeds.vpn_net)
+    in
+    inject v;
+    let fault_at = now () in
+    let max_rounds = 8 in
+    let rec detect round =
+      if round > max_rounds then (None, max_rounds)
+      else begin
+        pump ();
+        Telemetry.scrape tel;
+        match Telemetry.diagnose_path tel path with
+        | d :: _ when matches expected d.Diagnose.verdict ->
+            (Some (Int64.sub (now ()) fault_at), round)
+        | _ -> detect (round + 1)
+      end
+    in
+    let latency, rounds = detect 1 in
+    let top =
+      match Telemetry.diagnose_path tel path with
+      | d :: _ -> Fmt.str "%a" Diagnose.pp_verdict d.Diagnose.verdict
+      | [] -> "none"
+    in
+    (name, expected, top, latency, rounds)
+  in
+  let vpn_seg v =
+    Netsim.Net.find_segment_exn v.Scenarios.tb.Netsim.Testbeds.vpn_net "A--B"
+  in
+  let results =
+    [
+      scenario ~name:"core link cut" ~expected:"cut_link" ~pick:Scenarios.pure_gre
+        ~inject:(fun v -> Netsim.Link.cut (vpn_seg v));
+      scenario ~name:"MPLS xconnect erased on transit router" ~expected:"misconfigured_module"
+        ~pick:Scenarios.pure_mpls ~inject:(fun v ->
+          Hashtbl.iter
+            (fun _ (ilm : Netsim.Device.ilm) -> ilm.Netsim.Device.ilm_xc <- None)
+            v.Scenarios.tb.Netsim.Testbeds.rb.Netsim.Device.mpls.Netsim.Device.ilm_table);
+      scenario ~name:"seeded 50% loss on core segment" ~expected:"lossy_segment"
+        ~pick:Scenarios.pure_gre ~inject:(fun v ->
+          Netsim.Link.set_seed (vpn_seg v) 7L;
+          Netsim.Link.set_loss (vpn_seg v) 0.5);
+    ]
+  in
+  let correct = List.length (List.filter (fun (_, _, _, l, _) -> l <> None) results) in
+  let accuracy = float_of_int correct /. float_of_int (List.length results) in
+  (* the diamond incident: the telemetry-equipped Monitor must diagnose the
+     cut and reroute first, not burn a rung on resync *)
+  let d = Scenarios.build_diamond () in
+  let nm = d.Scenarios.dnm in
+  let chosen =
+    match Nm.achieve nm d.Scenarios.dgoal with
+    | Ok (_, path, _) ->
+        List.find
+          (fun (v : Path_finder.visit) ->
+            let dev = v.Path_finder.v_mod.Ids.dev in
+            dev = "id-B1" || dev = "id-B2")
+          path.Path_finder.visits
+        |> fun v -> v.Path_finder.v_mod.Ids.dev
+    | Error e -> failwith ("diagnose bench: achieve: " ^ e)
+  in
+  let seg_name = if chosen = "id-B1" then "A--B1" else "A--B2" in
+  let seg = Netsim.Net.find_segment_exn d.Scenarios.dtb.Netsim.Testbeds.dia_net seg_name in
+  Netsim.Link.flap ~cycles:1 seg ~first_down_ns:1_000_000_000L ~down_ns:3_000_000_000L
+    ~up_ns:1_000_000_000L;
+  let tel = Telemetry.create ~scope:d.Scenarios.dscope nm in
+  let mon = Monitor.create ~telemetry:tel nm in
+  Monitor.run mon ~ticks:10;
+  let first_action =
+    match
+      List.find_opt (fun (e : Monitor.event) -> contains e.Monitor.ev_what "diagnosed")
+        (Monitor.events mon)
+    with
+    | Some e when contains e.Monitor.ev_what "rerouting" -> "reroute"
+    | Some _ -> "resync"
+    | None -> "none"
+  in
+  let scenario_json (name, expected, top, latency, rounds) =
+    Printf.sprintf
+      "    {\n\
+      \      \"name\": \"%s\",\n\
+      \      \"expected\": \"%s\",\n\
+      \      \"diagnosed\": \"%s\",\n\
+      \      \"correct\": %b,\n\
+      \      \"detection_latency_ns\": %s,\n\
+      \      \"scrape_rounds_to_detect\": %d\n\
+      \    }"
+      name expected top (latency <> None)
+      (match latency with Some l -> Int64.to_string l | None -> "null")
+      rounds
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"scenarios\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"localization_accuracy\": %.2f,\n\
+      \  \"monitor_first_action\": \"%s\",\n\
+      \  \"monitor_repairs\": %d,\n\
+      \  \"monitor_resyncs\": %d,\n\
+      \  \"monitor_reachable_after\": %b\n\
+       }\n"
+      (String.concat ",\n" (List.map scenario_json results))
+      accuracy first_action (Monitor.repairs mon) (Monitor.resyncs mon)
+      (Scenarios.diamond_reachable d)
+  in
+  let oc = open_out "BENCH_diagnose.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== fault-localization data points (BENCH_diagnose.json) =====";
+  print_string json
+
 let quick = Array.exists (fun a -> a = "--quick" || a = "quick") Sys.argv
 
 let () =
-  if quick then selfheal_datapoints ()
+  if quick then begin
+    selfheal_datapoints ();
+    diagnose_datapoints ()
+  end
   else begin
     reproductions ();
     run_benchmarks ();
-    selfheal_datapoints ()
+    selfheal_datapoints ();
+    diagnose_datapoints ()
   end

@@ -218,6 +218,80 @@ let selfheal_cmd =
        ~doc:"Flap a core link of the diamond testbed and watch the reconciliation loop repair it")
     Term.(const selfheal $ ticks_arg $ flap_cycles_arg)
 
+(* --- diagnose ------------------------------------------------------------------ *)
+
+let diag_fault_arg =
+  let doc =
+    "Fault to inject before the telemetry rounds: cut-link (cut the A--B wire), mpls-xc (erase \
+     router B's incoming-label cross-connects), loss (seeded 50% loss on A--B), partition \
+     (management-plane partition of router B), or none."
+  in
+  Arg.(value & opt string "cut-link" & info [ "fault" ] ~docv:"FAULT" ~doc)
+
+let diag_rounds_arg =
+  let doc = "Scrape rounds to run after the fault (each pumps one end-to-end exchange)." in
+  Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let diagnose fault rounds =
+  let v = Scenarios.build_vpn () in
+  let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+  let pick = if fault = "mpls-xc" then Scenarios.pure_mpls else Scenarios.pure_gre in
+  let path = List.find pick paths in
+  let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal path in
+  Fmt.pr "configured %a; reachable: %b@." Path_finder.pp path (Scenarios.vpn_reachable v);
+  let tel = Telemetry.create ~scope:v.Scenarios.scope v.Scenarios.nm in
+  (* several exchanges per round so partial loss is statistically visible
+     in one delta (a single lost frame looks like a cut) *)
+  let pump () =
+    for _ = 1 to 4 do
+      ignore (Scenarios.vpn_reachable v)
+    done
+  in
+  (* two healthy rounds: the first sets the counter baselines, the second
+     records a known-good delta *)
+  for _ = 1 to 2 do
+    pump ();
+    Telemetry.scrape tel
+  done;
+  let seg () = Netsim.Net.find_segment_exn v.Scenarios.tb.Netsim.Testbeds.vpn_net "A--B" in
+  (match fault with
+  | "cut-link" ->
+      Netsim.Link.cut (seg ());
+      Fmt.pr "injected fault: cut the A--B wire@."
+  | "mpls-xc" ->
+      let rb = v.Scenarios.tb.Netsim.Testbeds.rb in
+      Hashtbl.iter
+        (fun _ (ilm : Netsim.Device.ilm) -> ilm.Netsim.Device.ilm_xc <- None)
+        rb.Netsim.Device.mpls.Netsim.Device.ilm_table;
+      Fmt.pr "injected fault: erased router B's ILM cross-connects out-of-band@."
+  | "loss" ->
+      Netsim.Link.set_seed (seg ()) 7L;
+      Netsim.Link.set_loss (seg ()) 0.5;
+      Fmt.pr "injected fault: 50%% seeded loss on the A--B wire@."
+  | "partition" ->
+      Mgmt.Faults.partition v.Scenarios.faults "id-B";
+      Fmt.pr "injected fault: management-plane partition of router B@."
+  | _ -> Fmt.pr "no fault injected@.");
+  for _ = 1 to max 1 rounds do
+    pump ();
+    Telemetry.scrape tel
+  done;
+  Fmt.pr "reachable now: %b@." (Scenarios.vpn_reachable v);
+  Fmt.pr "@.anomalies after %d round(s):@." (Telemetry.rounds tel);
+  (match Telemetry.anomalies tel with
+  | [] -> Fmt.pr "  (none)@."
+  | anoms -> List.iter (fun a -> Fmt.pr "  %a@." Diagnose.pp_anomaly a) anoms);
+  Fmt.pr "@.ranked diagnosis:@.";
+  match Telemetry.diagnose_path tel path with
+  | [] -> Fmt.pr "  (nothing to report)@."
+  | ds -> List.iter (fun d -> Fmt.pr "  @[<v>%a@]@." Diagnose.pp_diagnosis d) ds
+
+let diagnose_cmd =
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Inject a fault, scrape showPerf telemetry and localise the root cause from counters")
+    Term.(const diagnose $ diag_fault_arg $ diag_rounds_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -225,4 +299,6 @@ let () =
     Cmd.info "conman" ~version:"1.0.0"
       ~doc:"CONMan: Complexity Oblivious Network Management (SIGCOMM 2007), reproduced in OCaml"
   in
-  exit (Cmd.eval (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd ]))

@@ -116,6 +116,11 @@ let handle t ~src payload =
   | Wire.Show_actual_req { req } ->
       let state = List.map (fun m -> (m.Module_impl.mref, m.Module_impl.actual ())) t.modules in
       send t (Wire.Show_actual_resp { req; state })
+  | Wire.Show_perf_req { req } ->
+      (* read-only like showActual: never cached in done_reqs, a retry
+         simply re-scrapes the (monotonic) counters *)
+      let perf = List.map (fun m -> (m.Module_impl.mref, m.Module_impl.perf ())) t.modules in
+      send t (Wire.Show_perf_resp { req; perf })
   | Wire.Bundle { req; cmds; annex } -> (
       match Hashtbl.find_opt t.done_reqs (src, req) with
       | Some reply ->
@@ -169,8 +174,9 @@ let handle t ~src payload =
       (* a standby NM took over (§V): all further management traffic,
          including triggers and conveys, goes to it *)
       t.nm_device <- nm
-  | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Bundle_ack _
-  | Wire.Ack _ | Wire.Bundle_err _ | Wire.Self_test_resp _ | Wire.Completion _ | Wire.Trigger _ ->
+  | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Show_perf_resp _
+  | Wire.Bundle_ack _ | Wire.Ack _ | Wire.Bundle_err _ | Wire.Self_test_resp _ | Wire.Completion _
+  | Wire.Trigger _ ->
       (* NM-bound messages; not meaningful at an agent *)
       ()
 

@@ -80,7 +80,7 @@ let abstraction () =
     down = Some { Abstraction.connectable = [ "IP" ]; dependencies = [] };
     peerable = [ "ESP" ];
     switch = [ Abstraction.Up_down; Abstraction.Down_up ];
-    perf_reporting = [ "rx_packets"; "tx_packets" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes" ];
     security = [ "confidentiality"; "integrity" ];
   }
 
@@ -112,6 +112,28 @@ let make ~env ~mref () =
         match String.split_on_char ':' key with
         | [ "tundev"; pid ] -> List.assoc_opt pid st.tunnels
         | _ -> None);
+    perf =
+      (fun () ->
+        (* up = authenticated+decrypted packets delivered upwards, down =
+           packets sealed and pushed down; no-SA sends count as drops, not
+           transmissions *)
+        List.map
+          (fun (pid, name) ->
+            let c =
+              match Netsim.Device.find_iface st.env.device name with
+              | Some i -> fun n -> Netsim.Counters.get i.Netsim.Device.if_counters n
+              | None -> fun _ -> 0
+            in
+            ( pid,
+              [
+                ("up_frames", c "rx_packets");
+                ("up_bytes", c "rx_bytes");
+                ("down_frames", c "tx_packets");
+                ("down_bytes", c "tx_bytes");
+                ("drop:rx_errors", c "rx_errors");
+                ("drop:no_sa", c "tx_no_sa_drop");
+              ] ))
+          st.tunnels);
     actual =
       (fun () ->
         List.concat_map

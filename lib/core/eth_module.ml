@@ -47,7 +47,7 @@ let abstraction ~neighbours st () =
     switch =
       (if st.switching then [ Abstraction.Phy_up; Abstraction.Up_phy; Abstraction.Phy_phy ]
        else [ Abstraction.Phy_up; Abstraction.Up_phy ]);
-    perf_reporting = [ "rx_frames"; "tx_frames" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes" ];
   }
 
 (* Queries the VLAN module uses to locate ports (see {!Vlan_module}):
@@ -108,6 +108,25 @@ let make ~env ~mref ~ports ~switching ~neighbours () =
         env.progress ());
     delete_switch = (fun rule -> st.rules <- List.filter (( <> ) rule) st.rules);
     fields = fields st;
+    perf =
+      (fun () ->
+        (* up = frames delivered off the wire towards the module above;
+           down = frames sent onto the wire *)
+        List.map
+          (fun i ->
+            let p = Netsim.Device.port st.env.device i in
+            let c n = Netsim.Counters.get p.Netsim.Device.port_counters n in
+            ( phys_pipe_id st i,
+              [
+                ("up_frames", c "rx_frames");
+                ("up_bytes", c "rx_bytes");
+                ("down_frames", c "tx_frames");
+                ("down_bytes", c "tx_bytes");
+                ("drop:rx_bad", c "rx_bad");
+                ("drop:rx_vlan", c "rx_vlan_drop");
+                ("drop:tx_down", c "tx_down");
+              ] ))
+          st.ports);
     actual =
       (fun () ->
         List.concat_map

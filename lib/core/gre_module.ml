@@ -154,7 +154,7 @@ let abstraction () =
     down = Some { Abstraction.connectable = [ "IP" ]; dependencies = [] };
     peerable = [ "GRE" ];
     switch = [ Abstraction.Up_down; Abstraction.Down_up ];
-    perf_reporting = [ "rx_packets"; "tx_packets" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes" ];
     perf_tradeoffs =
       [
         { Abstraction.gives = [ "in-order-delivery" ]; costs = [ "jitter"; "delay" ] };
@@ -207,6 +207,26 @@ let make ~env ~mref () =
         match String.split_on_char ':' key with
         | [ "tundev"; pid ] -> List.assoc_opt pid st.tunnels
         | _ -> None);
+    perf =
+      (fun () ->
+        (* up = decapsulated packets delivered upwards, down = packets
+           encapsulated and pushed down towards the delivery protocol *)
+        List.map
+          (fun (pid, name) ->
+            let c =
+              match Netsim.Device.find_iface st.env.device name with
+              | Some i -> fun n -> Netsim.Counters.get i.Netsim.Device.if_counters n
+              | None -> fun _ -> 0
+            in
+            ( pid,
+              [
+                ("up_frames", c "rx_packets");
+                ("up_bytes", c "rx_bytes");
+                ("down_frames", c "tx_packets");
+                ("down_bytes", c "tx_bytes");
+                ("drop:rx_errors", c "rx_errors");
+              ] ))
+          st.tunnels);
     actual =
       (fun () ->
         List.concat_map

@@ -452,7 +452,7 @@ let abstraction () =
     filterable = [ "module"; "device" ];
     switch =
       [ Abstraction.Down_up; Abstraction.Up_down; Abstraction.Down_down; Abstraction.Up_up ];
-    perf_reporting = [ "rx_packets"; "tx_packets" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes" ];
     perf_enforcement = [ "rate-limit" ];
   }
 
@@ -608,6 +608,29 @@ let make ~env ~mref ~ifaces ~domain () =
               let name = "ipip-" ^ pid in
               if Netsim.Device.find_iface st.env.device name <> None then Some name else None
           | _ -> None);
+      perf =
+        (fun () ->
+          (* per pipe, from the interface the pipe resolves over; a pipe
+             whose interface has not resolved yet reports zeros *)
+          List.map
+            (fun ps ->
+              let c =
+                match
+                  Option.bind (under_iface st ps) (Netsim.Device.find_iface st.env.device)
+                with
+                | Some i -> fun n -> Netsim.Counters.get i.Netsim.Device.if_counters n
+                | None -> fun _ -> 0
+              in
+              ( ps.spec.Primitive.pipe_id,
+                [
+                  ("up_frames", c "rx_packets");
+                  ("up_bytes", c "rx_bytes");
+                  ("down_frames", c "tx_packets");
+                  ("down_bytes", c "tx_bytes");
+                  ("drop:rx_errors", c "rx_errors");
+                  ("drop:policer", c "policer_drops");
+                ] ))
+            st.pipes);
       actual =
         (fun () ->
           List.map

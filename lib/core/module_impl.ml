@@ -45,6 +45,9 @@ type t = {
   (* low-level field lookup backing listFieldsAndValues *)
   fields : string -> string option;
   actual : unit -> (string * string) list;
+  (* showPerf: per-pipe monotonic counter snapshots (the performance aspect
+     of the abstraction); keys must cover the advertised perf_reporting *)
+  perf : unit -> (string * (string * int) list) list;
   (* retry deferred work (switch rules waiting on peer coordination) *)
   poll : unit -> unit;
   (* [against]: probe data-plane connectivity towards that module rather
@@ -69,6 +72,7 @@ let no_op_module mref abstraction =
     on_peer = (fun ~src:_ _ -> ());
     fields = (fun _ -> None);
     actual = (fun () -> []);
+    perf = (fun () -> []);
     poll = ignore;
     self_test = (fun ~against:_ ~reply -> reply ~ok:true ~detail:"no-op");
   }

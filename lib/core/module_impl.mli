@@ -44,6 +44,9 @@ type t = {
   on_peer : src:Ids.t -> Peer_msg.t -> unit; (** conveyMessage delivery *)
   fields : string -> string option; (** listFieldsAndValues backing *)
   actual : unit -> (string * string) list; (** what showActual returns *)
+  perf : unit -> (string * (string * int) list) list;
+      (** what showPerf returns: pipe id -> monotonic counter snapshot,
+          covering the abstraction's advertised [perf_reporting] names *)
   poll : unit -> unit; (** retry deferred work *)
   self_test : against:Ids.t option -> reply:(ok:bool -> detail:string -> unit) -> unit;
       (** data-plane/state self test (§II-D.2); [against] probes towards

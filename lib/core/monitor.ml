@@ -36,6 +36,7 @@ type event = { ev_time : int64; ev_intent : int; ev_what : string }
 type t = {
   nm : Nm.t;
   cfg : config;
+  telemetry : Telemetry.t option;
   mutable ticks : int;
   mutable repairs : int;
   mutable resyncs : int;
@@ -43,8 +44,17 @@ type t = {
   mutable events : event list; (* newest first *)
 }
 
-let create ?(config = default_config) nm =
-  { nm; cfg = config; ticks = 0; repairs = 0; resyncs = 0; escalations = 0; events = [] }
+let create ?(config = default_config) ?telemetry nm =
+  {
+    nm;
+    cfg = config;
+    telemetry;
+    ticks = 0;
+    repairs = 0;
+    resyncs = 0;
+    escalations = 0;
+    events = [];
+  }
 
 let log t (intent : Intent.t) what =
   let now = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm)) in
@@ -181,6 +191,17 @@ let attempt_repair t (intent : Intent.t) detail =
         end
   end
 
+(* With telemetry attached, scrape right after a failed probe — so the
+   probe's own frames are the freshest delta in the store — and ask the
+   localizer where on the path the traffic died. Returns the top-ranked
+   diagnosis, if any. *)
+let diagnose_failure t (intent : Intent.t) =
+  match (t.telemetry, intent.Intent.script) with
+  | Some tel, Some s when s.Script_gen.path.Path_finder.visits <> [] -> (
+      Telemetry.scrape tel;
+      match Telemetry.diagnose_path tel s.Script_gen.path with d :: _ -> Some d | [] -> None)
+  | _ -> None
+
 let reconcile t (intent : Intent.t) =
   match intent.Intent.status with
   | Intent.Retired -> ()
@@ -231,18 +252,40 @@ let reconcile t (intent : Intent.t) =
                    (String.concat ", " (List.map fst drifted)))
         else begin
           intent.Intent.probe_failures <- intent.Intent.probe_failures + 1;
-          match drift t intent with
-          | _ :: _ as drifted ->
-              (* state went missing on a live path: resync before rerouting *)
+          match diagnose_failure t intent with
+          | Some { Diagnose.verdict = (Cut_link _ | Lossy_segment _ | Unreachable_agent _) as v; _ }
+            ->
+              (* the path itself is the problem: resyncing state onto it
+                 cannot help, skip straight to re-achieving around it *)
+              log t intent (Fmt.str "diagnosed %a: rerouting" Diagnose.pp_verdict v);
+              attempt_repair t intent detail
+          | Some { Diagnose.verdict = Misconfigured_module { dev; _ } as v; _ } ->
+              (* one module's state drifted: re-sending the script is the
+                 cheapest repair, reroute only if that fails *)
+              log t intent (Fmt.str "diagnosed %a: resyncing %s" Diagnose.pp_verdict v dev);
               t.resyncs <- t.resyncs + 1;
               Nm.resync_intent t.nm intent;
               intent.Intent.expected <- [];
-              log t intent
-                (Printf.sprintf "drift on %s: resynced"
-                   (String.concat ", " (List.map fst drifted)));
               let ok2, detail2 = probe t intent in
-              if ok2 then mark_healthy t intent else attempt_repair t intent detail2
-          | [] -> attempt_repair t intent detail
+              if ok2 then begin
+                snapshot t intent;
+                mark_healthy t intent;
+                log t intent "resync restored connectivity"
+              end
+              else attempt_repair t intent detail2
+          | None -> (
+              match drift t intent with
+              | _ :: _ as drifted ->
+                  (* state went missing on a live path: resync before rerouting *)
+                  t.resyncs <- t.resyncs + 1;
+                  Nm.resync_intent t.nm intent;
+                  intent.Intent.expected <- [];
+                  log t intent
+                    (Printf.sprintf "drift on %s: resynced"
+                       (String.concat ", " (List.map fst drifted)));
+                  let ok2, detail2 = probe t intent in
+                  if ok2 then mark_healthy t intent else attempt_repair t intent detail2
+              | [] -> attempt_repair t intent detail)
         end)
 
 (* --- driving ------------------------------------------------------------------ *)
@@ -257,7 +300,11 @@ let tick t =
   Nm.set_horizon t.nm (Some (Int64.add deadline t.cfg.probe_slack_ns));
   Fun.protect
     ~finally:(fun () -> Nm.set_horizon t.nm None)
-    (fun () -> List.iter (reconcile t) (Nm.intents t.nm))
+    (fun () ->
+      (* keep the telemetry store's baselines warm so a post-failure
+         scrape yields a clean delta *)
+      Option.iter Telemetry.maybe_scrape t.telemetry;
+      List.iter (reconcile t) (Nm.intents t.nm))
 
 let run t ~ticks =
   for _ = 1 to ticks do

@@ -7,7 +7,13 @@
     ladder is: resync the script on drift, re-achieve over the next-best
     path (avoiding diagnosed-failing devices, backing the stale script
     out) on a dead path, and escalate to the NM's error report after a
-    bounded number of attempts. *)
+    bounded number of attempts.
+
+    With a {!Telemetry.t} attached, a failed probe first consults the
+    counter-based root-cause localizer and the diagnosis picks the first
+    repair rung: a cut link, lossy segment or unreachable agent skips
+    resync and goes straight to re-achieving around the path; a
+    misconfigured module resyncs the script in place first. *)
 
 type config = {
   interval_ns : int64;  (** virtual time between reconciliation ticks *)
@@ -25,7 +31,9 @@ type event = { ev_time : int64; ev_intent : int; ev_what : string }
 
 type t
 
-val create : ?config:config -> Nm.t -> t
+val create : ?config:config -> ?telemetry:Telemetry.t -> Nm.t -> t
+(** [telemetry] attaches a scrape store: each tick keeps it warm, and a
+    failed probe scrapes + localizes before picking a repair rung. *)
 
 val tick : t -> unit
 (** One reconciliation round: advance virtual time by the interval, then

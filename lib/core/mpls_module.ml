@@ -144,7 +144,7 @@ let abstraction () =
     down = Some { Abstraction.connectable = [ "ETH" ]; dependencies = [] };
     peerable = [ "MPLS" ];
     switch = [ Abstraction.Down_up; Abstraction.Up_down; Abstraction.Down_down ];
-    perf_reporting = [ "switched_packets" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes"; "switched_packets" ];
     (* the hint the paper's path chooser uses to prefer the MPLS path *)
     fast_forwarding = true;
   }
@@ -260,6 +260,45 @@ let make ~env ~mref () =
         | [ "ftn-key"; pid ] -> Option.map fst (List.assoc_opt pid st.ftn)
         | [ "ftn-via"; pid ] -> Option.map snd (List.assoc_opt pid st.ftn)
         | _ -> None);
+    perf =
+      (fun () ->
+        (* per adjacency pipe: labelled traffic on the interface below it;
+           the "local" pseudo-pipe carries the label-switching engine's
+           aggregate switched/drop-cause counters *)
+        let dev = st.env.device in
+        let adj_entries =
+          List.map
+            (fun adj ->
+              let c =
+                match
+                  Option.bind
+                    (st.env.local_query adj.a_spec.Primitive.bottom "iface")
+                    (Netsim.Device.find_iface dev)
+                with
+                | Some i -> fun n -> Netsim.Counters.get i.Netsim.Device.if_counters n
+                | None -> fun _ -> 0
+              in
+              ( adj.a_spec.Primitive.pipe_id,
+                [
+                  ("up_frames", c "rx_mpls");
+                  ("up_bytes", c "rx_mpls_bytes");
+                  ("down_frames", c "tx_mpls");
+                  ("down_bytes", c "tx_mpls_bytes");
+                ] ))
+            st.adjacencies
+        in
+        let d n = Netsim.Counters.get dev.Netsim.Device.dev_counters n in
+        adj_entries
+        @ [
+            ( "local",
+              [
+                ("switched_packets", d "mpls_switched");
+                ("drop:no_ilm", d "mpls_no_ilm_drop");
+                ("drop:no_xc", d "mpls_no_xc_drop");
+                ("drop:no_nhlfe", d "mpls_no_nhlfe_drop");
+                ("drop:ttl", d "mpls_ttl_drop");
+              ] );
+          ]);
     actual =
       (fun () ->
         List.map

@@ -25,6 +25,7 @@ type t = {
          not yet confirmed — replayed by a standby after take_over *)
   mutable outstanding : int list; (* unanswered request ids *)
   mutable actuals : (int * (Ids.t * (string * string) list) list) list;
+  mutable perfs : (int * (Ids.t * (string * (string * int) list) list) list) list;
   mutable completions : (Ids.t * string) list;
   mutable errors : (string * string) list;
   mutable self_tests : (int * (Ids.t * bool * string)) list;
@@ -136,6 +137,9 @@ let rec handle t ~src payload =
       | Wire.Show_actual_resp { req; state } ->
           t.actuals <- (req, state) :: t.actuals;
           t.outstanding <- List.filter (( <> ) req) t.outstanding
+      | Wire.Show_perf_resp { req; perf } ->
+          t.perfs <- (req, perf) :: t.perfs;
+          t.outstanding <- List.filter (( <> ) req) t.outstanding
       | Wire.Convey { src = msrc; dst; payload } ->
           (* the NM relays module-to-module messages (conveyMessage) *)
           t.convey_log <- (msrc, dst, payload) :: t.convey_log;
@@ -154,8 +158,9 @@ let rec handle t ~src payload =
              NM re-resolves the dependent state by re-issuing the affected
              scripts, whose execution is idempotent. *)
           if t.auto_repair then List.iter (send_script t) t.active_scripts
-      | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Bundle _ | Wire.Self_test_req _
-      | Wire.Nm_takeover _ | Wire.Set_address _ | Wire.Bundle_ack _ | Wire.Ack _ ->
+      | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Show_perf_req _ | Wire.Bundle _
+      | Wire.Self_test_req _ | Wire.Nm_takeover _ | Wire.Set_address _ | Wire.Bundle_ack _
+      | Wire.Ack _ ->
         ())
 
 and create ?transport ?journal ~chan ~net ~my_id () =
@@ -178,6 +183,7 @@ and create ?transport ?journal ~chan ~net ~my_id () =
       inflight = [];
       outstanding = [];
       actuals = [];
+      perfs = [];
       completions = [];
       errors = [];
       self_tests = [];
@@ -263,6 +269,14 @@ let show_actual t dev =
   send t ~dst:dev (Wire.Show_actual_req { req });
   run t;
   List.assoc_opt req t.actuals
+
+(* showPerf at one device: per-module, per-pipe counter snapshots. [None]
+   means the agent never answered (within the horizon). *)
+let show_perf t dev =
+  let req = fresh_req t in
+  send t ~dst:dev (Wire.Show_perf_req { req });
+  run t;
+  List.assoc_opt req t.perfs
 
 (* --- goal achievement (figure 7(a) top: high-level goal -> low-level goal ->
    CONMan script -> protocol state) ------------------------------------------ *)

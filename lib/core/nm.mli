@@ -50,6 +50,12 @@ val harvest_potentials : t -> string list -> unit
 val show_actual : t -> string -> (Ids.t * (string * string) list) list option
 (** showActual at one device: per-module low-level state report. *)
 
+val show_perf : t -> string -> (Ids.t * (string * (string * int) list) list) list option
+(** showPerf at one device: per-module, per-pipe monotonic counter
+    snapshots (the abstraction's performance aspect). [None] when the
+    agent did not answer within the horizon — telemetry treats that as
+    the device being unreachable. *)
+
 val topology : t -> Topology.t
 val net : t -> Netsim.Net.t
 

@@ -1,0 +1,112 @@
+(* The NM-side telemetry poller: scrapes showPerf across the managed scope
+   on a period, feeds the Diagnose time-series store, and adapts configured
+   paths into the hop/segment shape the protocol-agnostic localizer works
+   on (using only the potential graph: ETH physical pipes and the modules
+   the path visits). *)
+
+type t = {
+  nm : Nm.t;
+  store : Diagnose.t;
+  scope : string list;
+  period_ns : int64;
+  mutable last_scrape : int64 option;
+  mutable rounds : int;
+}
+
+let create ?window ?(period_ns = 250_000_000L) ~scope nm =
+  { nm; store = Diagnose.create ?window (); scope; period_ns; last_scrape = None; rounds = 0 }
+
+let store t = t.store
+let rounds t = t.rounds
+let period_ns t = t.period_ns
+
+let now t = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm))
+
+let scrape t =
+  t.rounds <- t.rounds + 1;
+  let at_ns = now t in
+  t.last_scrape <- Some at_ns;
+  List.iter
+    (fun dev ->
+      match Nm.show_perf t.nm dev with
+      | None -> Diagnose.note_unreachable t.store dev
+      | Some reports ->
+          Diagnose.note_reachable t.store dev;
+          List.iter
+            (fun (m, pipes) ->
+              List.iter
+                (fun (pipe, counters) ->
+                  Diagnose.observe t.store ~at_ns ~device:dev ~module_id:(Ids.qualified m) ~pipe
+                    counters)
+                pipes)
+            reports)
+    t.scope
+
+let maybe_scrape t =
+  match t.last_scrape with
+  | None -> scrape t
+  | Some last -> if Int64.sub (now t) last >= t.period_ns then scrape t
+
+let anomalies t = Diagnose.anomalies t.store
+
+(* --- path adaptation --------------------------------------------------- *)
+
+(* Devices in path order (first visit order). *)
+let ordered_devices (path : Path_finder.path) =
+  List.rev
+    (List.fold_left
+       (fun acc (v : Path_finder.visit) ->
+         let d = v.Path_finder.v_mod.Ids.dev in
+         if List.mem d acc then acc else d :: acc)
+       [] path.Path_finder.visits)
+
+(* The ETH module (and physical pipe) of [dev] facing [peer], from the
+   harvested potential. *)
+let eth_facing topo dev peer =
+  List.find_map
+    (fun (m, (a : Abstraction.t)) ->
+      if a.Abstraction.name = "ETH" then
+        List.find_map
+          (fun (p : Abstraction.physical_pipe) ->
+            if p.Abstraction.peer_device = peer then Some (Ids.qualified m, p.Abstraction.phys_id)
+            else None)
+          a.Abstraction.physical
+      else None)
+    (Topology.modules_of_device topo dev)
+
+let hops_of_path (path : Path_finder.path) =
+  List.map
+    (fun dev ->
+      let mods =
+        List.fold_left
+          (fun acc (v : Path_finder.visit) ->
+            let q = Ids.qualified v.Path_finder.v_mod in
+            if v.Path_finder.v_mod.Ids.dev = dev && not (List.mem q acc) then q :: acc else acc)
+          [] path.Path_finder.visits
+      in
+      { Diagnose.h_dev = dev; h_modules = List.rev mods })
+    (ordered_devices path)
+
+let segs_of_path t (path : Path_finder.path) =
+  let topo = Nm.topology t.nm in
+  let rec pair = function
+    | d1 :: (d2 :: _ as rest) -> (
+        match (eth_facing topo d1 d2, eth_facing topo d2 d1) with
+        | Some (m1, p1), Some (m2, p2) ->
+            {
+              Diagnose.s_name = d1 ^ "--" ^ d2;
+              s_from = d1;
+              s_from_module = m1;
+              s_from_pipe = p1;
+              s_to = d2;
+              s_to_module = m2;
+              s_to_pipe = p2;
+            }
+            :: pair rest
+        | _ -> pair rest)
+    | _ -> []
+  in
+  pair (ordered_devices path)
+
+let diagnose_path t path =
+  Diagnose.localize t.store ~hops:(hops_of_path path) ~segs:(segs_of_path t path)

@@ -1,0 +1,31 @@
+(** The NM-side telemetry poller over the showPerf primitive.
+
+    Scrapes per-pipe counters from every device in scope, feeds the
+    {!Diagnose} time-series store, and localizes faults on configured
+    paths by adapting them (through the potential graph) into the hops and
+    inter-device segments the protocol-agnostic localizer consumes. *)
+
+type t
+
+val create : ?window:int -> ?period_ns:int64 -> scope:string list -> Nm.t -> t
+(** [window] bounds the per-series delta ring; [period_ns] (default
+    250ms) is the scrape period honoured by {!maybe_scrape}. *)
+
+val store : t -> Diagnose.t
+val rounds : t -> int
+val period_ns : t -> int64
+
+val scrape : t -> unit
+(** One scrape round, now: showPerf at every device in scope; devices
+    that do not answer are noted unreachable in the store. *)
+
+val maybe_scrape : t -> unit
+(** {!scrape}, but only if the period elapsed since the last round. *)
+
+val anomalies : t -> Diagnose.anomaly list
+
+val hops_of_path : Path_finder.path -> Diagnose.hop list
+val segs_of_path : t -> Path_finder.path -> Diagnose.seg list
+
+val diagnose_path : t -> Path_finder.path -> Diagnose.diagnosis list
+(** Ranked root-cause diagnosis for one configured path. *)

@@ -160,7 +160,7 @@ let abstraction () =
     down = Some { Abstraction.connectable = [ "ETH" ]; dependencies = [] };
     peerable = [ "VLAN" ];
     switch = [ Abstraction.Down_up; Abstraction.Up_down; Abstraction.Down_down ];
-    perf_reporting = [ "tagged_frames" ];
+    perf_reporting = [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes"; "tagged_frames" ];
   }
 
 let make ~env ~mref () =
@@ -222,6 +222,28 @@ let make ~env ~mref () =
     on_peer = on_peer st;
     fields =
       (fun key -> match key with "vid" -> Option.map string_of_int st.vid | _ -> None);
+    perf =
+      (fun () ->
+        (* per programmed port: frames crossing it plus the egress tags the
+           trunk pushed (the counter behind "tagged_frames") *)
+        List.filter_map
+          (fun (name, kind) ->
+            match Netsim.Device.port_by_name st.env.device name with
+            | Some p ->
+                let c n = Netsim.Counters.get p.Netsim.Device.port_counters n in
+                Some
+                  ( (match kind with `Tunnel -> "tunnel:" | `Trunk -> "trunk:") ^ name,
+                    [
+                      ("up_frames", c "rx_frames");
+                      ("up_bytes", c "rx_bytes");
+                      ("down_frames", c "tx_frames");
+                      ("down_bytes", c "tx_bytes");
+                      ("tagged_frames", c "tagged_frames");
+                      ("drop:rx_vlan", c "rx_vlan_drop");
+                      ("drop:tx_mtu_or_vlan", c "tx_mtu_or_vlan_drop");
+                    ] )
+            | None -> None)
+          st.applied_ports);
     actual =
       (fun () ->
         [

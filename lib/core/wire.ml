@@ -18,6 +18,9 @@ type t =
   (* NM -> device *)
   | Show_potential_req of { req : int }
   | Show_actual_req of { req : int }
+  (* showPerf: the generic query over the abstraction's performance aspect —
+     per-pipe counter snapshots from every module (§II-B's perf reporting) *)
+  | Show_perf_req of { req : int }
   | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
   | Nm_takeover of { nm : string } (* a standby NM announces it is now primary *)
   (* explicit address assignment by the NM (§II-E: the one task the paper
@@ -27,6 +30,8 @@ type t =
   (* device -> NM *)
   | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
   | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  (* per module: pipe id -> monotonic counter snapshot *)
+  | Show_perf_resp of { req : int; perf : (Ids.t * (string * (string * int) list) list) list }
   | Bundle_ack of { req : int } (* explicit success: the bundle was applied *)
   | Ack of { req : int } (* generic ack for requests without a richer reply *)
   | Bundle_err of { req : int; error : string }
@@ -63,6 +68,7 @@ let to_sexp =
         ]
   | Show_potential_req { req } -> Sexp.List [ a "show-potential"; Sexp.of_int req ]
   | Show_actual_req { req } -> Sexp.List [ a "show-actual"; Sexp.of_int req ]
+  | Show_perf_req { req } -> Sexp.List [ a "show-perf"; Sexp.of_int req ]
   | Bundle { req; cmds; annex } ->
       Sexp.List
         [ a "bundle"; Sexp.of_int req; Sexp.List (List.map Primitive.to_sexp cmds); annex_to_sexp annex ]
@@ -91,6 +97,26 @@ let to_sexp =
                    [ Sexp.of_mref m; Sexp.List (List.map (Sexp.of_pair a a) kvs) ])
                state);
         ]
+  | Show_perf_resp { req; perf } ->
+      Sexp.List
+        [
+          a "perf";
+          Sexp.of_int req;
+          Sexp.List
+            (List.map
+               (fun (m, pipes) ->
+                 Sexp.List
+                   [
+                     Sexp.of_mref m;
+                     Sexp.List
+                       (List.map
+                          (fun (pipe, kvs) ->
+                            Sexp.List
+                              [ a pipe; Sexp.List (List.map (Sexp.of_pair a Sexp.of_int) kvs) ])
+                          pipes);
+                   ])
+               perf);
+        ]
   | Bundle_ack { req } -> Sexp.List [ a "bundle-ack"; Sexp.of_int req ]
   | Ack { req } -> Sexp.List [ a "ack"; Sexp.of_int req ]
   | Bundle_err { req; error } -> Sexp.List [ a "bundle-err"; Sexp.of_int req; a error ]
@@ -116,6 +142,7 @@ let of_sexp sexp =
         }
   | Sexp.List [ Sexp.Atom "show-potential"; req ] -> Show_potential_req { req = Sexp.to_int req }
   | Sexp.List [ Sexp.Atom "show-actual"; req ] -> Show_actual_req { req = Sexp.to_int req }
+  | Sexp.List [ Sexp.Atom "show-perf"; req ] -> Show_perf_req { req = Sexp.to_int req }
   | Sexp.List [ Sexp.Atom "bundle"; req; Sexp.List cmds; annex ] ->
       Bundle
         { req = Sexp.to_int req; cmds = List.map Primitive.of_sexp cmds; annex = annex_of_sexp annex }
@@ -147,6 +174,24 @@ let of_sexp sexp =
                 | Sexp.List [ m; Sexp.List kvs ] ->
                     (Sexp.to_mref m, List.map (Sexp.to_pair s s) kvs)
                 | _ -> raise (Sexp.Parse_error "actual module"))
+              mods;
+        }
+  | Sexp.List [ Sexp.Atom "perf"; req; Sexp.List mods ] ->
+      Show_perf_resp
+        {
+          req = Sexp.to_int req;
+          perf =
+            List.map
+              (function
+                | Sexp.List [ m; Sexp.List pipes ] ->
+                    ( Sexp.to_mref m,
+                      List.map
+                        (function
+                          | Sexp.List [ pipe; Sexp.List kvs ] ->
+                              (s pipe, List.map (Sexp.to_pair s Sexp.to_int) kvs)
+                          | _ -> raise (Sexp.Parse_error "perf pipe"))
+                        pipes )
+                | _ -> raise (Sexp.Parse_error "perf module"))
               mods;
         }
   | Sexp.List [ Sexp.Atom "bundle-ack"; req ] -> Bundle_ack { req = Sexp.to_int req }

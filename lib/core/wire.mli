@@ -18,6 +18,9 @@ type t =
       (** device -> NM: physical connectivity (port, peer device, peer port) *)
   | Show_potential_req of { req : int }
   | Show_actual_req of { req : int }
+  | Show_perf_req of { req : int }
+      (** showPerf: scrape the performance aspect — per-pipe counters from
+          every module on the device (read-only, like showActual) *)
   | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
       (** NM -> device: a CONMan script slice *)
   | Nm_takeover of { nm : string } (** a standby NM announces it is primary (§V) *)
@@ -26,6 +29,8 @@ type t =
   | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
   | Show_potential_resp of { req : int; modules : (Ids.t * Abstraction.t) list }
   | Show_actual_resp of { req : int; state : (Ids.t * (string * string) list) list }
+  | Show_perf_resp of { req : int; perf : (Ids.t * (string * (string * int) list) list) list }
+      (** per module: pipe id -> monotonic counter snapshot *)
   | Bundle_ack of { req : int }
       (** device -> NM: the bundle was applied — success is explicit *)
   | Ack of { req : int }

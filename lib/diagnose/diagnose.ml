@@ -1,0 +1,302 @@
+(* The fault-diagnosis layer on top of the showPerf telemetry scrape.
+
+   The store keeps a bounded ring of scrape-to-scrape counter deltas per
+   (device, module, pipe) and flags anomalies; the localizer walks a
+   configured path's module dependency chain (handed to it as hops and
+   inter-device segments), intersects the anomaly evidence and emits a
+   ranked root-cause diagnosis. Everything here is protocol-agnostic: it
+   only knows the standardized counter names the modules report
+   (up/down_frames, up/down_bytes, drop:<cause>). *)
+
+type key = { device : string; module_id : string; pipe : string }
+
+let pp_key ppf k = Fmt.pf ppf "%s/%s/%s" k.device k.module_id k.pipe
+
+type sample = { at_ns : int64; deltas : (string * int) list }
+
+type series = {
+  s_key : key;
+  (* previous absolute snapshot; None until the first observation, which
+     only sets the baseline (a counter's whole history is not a delta) *)
+  mutable s_last : (string * int) list option;
+  mutable s_samples : sample list; (* newest first, bounded by window *)
+  mutable s_dropped : int; (* samples evicted from the ring *)
+  mutable s_total : (string * int) list; (* cumulative deltas since baseline *)
+}
+
+type t = {
+  window : int;
+  series : (string, series) Hashtbl.t; (* flattened key -> series *)
+  (* consecutive scrape rounds a device failed to answer showPerf *)
+  silent : (string, int) Hashtbl.t;
+}
+
+let create ?(window = 32) () =
+  { window = max 1 window; series = Hashtbl.create 64; silent = Hashtbl.create 8 }
+
+let window t = t.window
+
+let flat k = k.device ^ "|" ^ k.module_id ^ "|" ^ k.pipe
+
+let find_series t k = Hashtbl.find_opt t.series (flat k)
+
+let keys t =
+  Hashtbl.fold (fun _ s acc -> s.s_key :: acc) t.series []
+  |> List.sort (fun a b -> compare (flat a) (flat b))
+
+let observe t ~at_ns ~device ~module_id ~pipe counters =
+  let k = { device; module_id; pipe } in
+  let s =
+    match find_series t k with
+    | Some s -> s
+    | None ->
+        let s = { s_key = k; s_last = None; s_samples = []; s_dropped = 0; s_total = [] } in
+        Hashtbl.replace t.series (flat k) s;
+        s
+  in
+  (match s.s_last with
+  | None -> () (* baseline only *)
+  | Some before ->
+      let deltas =
+        List.map
+          (fun (name, v) ->
+            let was = match List.assoc_opt name before with Some w -> w | None -> 0 in
+            (name, if v >= was then v - was else 0))
+          counters
+      in
+      s.s_samples <- { at_ns; deltas } :: s.s_samples;
+      (let rec drop_excess n = function
+         | [] -> []
+         | _ :: rest when n <= 0 ->
+             s.s_dropped <- s.s_dropped + 1;
+             drop_excess 0 rest
+         | x :: rest -> x :: drop_excess (n - 1) rest
+       in
+       s.s_samples <- drop_excess t.window s.s_samples);
+      s.s_total <-
+        List.map
+          (fun (name, d) ->
+            let so_far = match List.assoc_opt name s.s_total with Some x -> x | None -> 0 in
+            (name, so_far + d))
+          deltas
+        @ List.filter (fun (name, _) -> not (List.mem_assoc name deltas)) s.s_total);
+  s.s_last <- Some counters
+
+let dropped t k = match find_series t k with Some s -> s.s_dropped | None -> 0
+let samples t k = match find_series t k with Some s -> List.rev s.s_samples | None -> []
+
+let note_unreachable t device =
+  let n = match Hashtbl.find_opt t.silent device with Some n -> n | None -> 0 in
+  Hashtbl.replace t.silent device (n + 1)
+
+let note_reachable t device = Hashtbl.remove t.silent device
+let is_silent t device = match Hashtbl.find_opt t.silent device with Some n -> n > 0 | None -> false
+let silent_rounds t device = match Hashtbl.find_opt t.silent device with Some n -> n | None -> 0
+
+(* --- delta accessors -------------------------------------------------- *)
+
+let counter_of sample name =
+  match List.assoc_opt name sample.deltas with Some v -> v | None -> 0
+
+(* Sum of the last [n] deltas of [name] (0 when the series is unknown). *)
+let recent ?(n = 3) t k name =
+  match find_series t k with
+  | None -> 0
+  | Some s ->
+      List.filteri (fun i _ -> i < n) s.s_samples
+      |> List.fold_left (fun acc sm -> acc + counter_of sm name) 0
+
+let last_delta t k name = recent ~n:1 t k name
+
+let total t k name =
+  match find_series t k with
+  | None -> 0
+  | Some s -> ( match List.assoc_opt name s.s_total with Some v -> v | None -> 0)
+
+let ever_active t k name = total t k name > 0
+
+(* --- anomaly flags ---------------------------------------------------- *)
+
+type anomaly =
+  | Stalled of key * string (* counter previously active, flat over the recent window *)
+  | Asymmetric of key (* one direction moving while the other (once active) is flat *)
+  | Rising_drops of key * string * int (* a drop cause increased recently *)
+  | Silent of string * int (* device unanswering for n scrape rounds *)
+
+let pp_anomaly ppf = function
+  | Stalled (k, c) -> Fmt.pf ppf "stall %a %s" pp_key k c
+  | Asymmetric k -> Fmt.pf ppf "asymmetry %a" pp_key k
+  | Rising_drops (k, c, n) -> Fmt.pf ppf "drops %a %s +%d" pp_key k c n
+  | Silent (d, n) -> Fmt.pf ppf "silent %s (%d rounds)" d n
+
+let anomalies t =
+  let out = ref [] in
+  Hashtbl.iter (fun d n -> if n > 0 then out := Silent (d, n) :: !out) t.silent;
+  Hashtbl.iter
+    (fun _ s ->
+      let k = s.s_key in
+      if s.s_samples <> [] then begin
+        List.iter
+          (fun c ->
+            if ever_active t k c && recent ~n:2 t k c = 0 then out := Stalled (k, c) :: !out)
+          [ "up_frames"; "down_frames" ];
+        (let up = recent t k "up_frames" and down = recent t k "down_frames" in
+         if
+           (up > 0 && down = 0 && ever_active t k "down_frames")
+           || (down > 0 && up = 0 && ever_active t k "up_frames")
+         then out := Asymmetric k :: !out);
+        match s.s_samples with
+        | latest :: _ ->
+            List.iter
+              (fun (name, d) ->
+                if d > 0 && String.length name >= 5 && String.sub name 0 5 = "drop:" then
+                  out := Rising_drops (k, name, d) :: !out)
+              latest.deltas
+        | [] -> ()
+      end)
+    t.series;
+  List.rev !out
+
+(* --- root-cause localization ------------------------------------------ *)
+
+type hop = {
+  h_dev : string;
+  h_modules : string list; (* qualified module ids the path visits on this device *)
+}
+
+type seg = {
+  s_name : string; (* for reporting, e.g. "id-A--id-B" *)
+  s_from : string; (* tx-side device *)
+  s_from_module : string;
+  s_from_pipe : string;
+  s_to : string; (* rx-side device *)
+  s_to_module : string;
+  s_to_pipe : string;
+}
+
+type verdict =
+  | Cut_link of string (* seg name *)
+  | Lossy_segment of string
+  | Misconfigured_module of { dev : string; module_id : string }
+  | Unreachable_agent of string
+
+type diagnosis = { verdict : verdict; confidence : float; evidence : string list }
+
+let pp_verdict ppf = function
+  | Cut_link l -> Fmt.pf ppf "cut link %s" l
+  | Lossy_segment l -> Fmt.pf ppf "lossy segment %s" l
+  | Misconfigured_module { dev; module_id } ->
+      Fmt.pf ppf "misconfigured module %s on %s" module_id dev
+  | Unreachable_agent d -> Fmt.pf ppf "unreachable agent %s" d
+
+let pp_diagnosis ppf d =
+  Fmt.pf ppf "%a (confidence %.2f)%a" pp_verdict d.verdict d.confidence
+    (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "@,  - %s" e))
+    d.evidence
+
+let localize t ~hops ~segs =
+  let out = ref [] in
+  let add verdict confidence evidence = out := { verdict; confidence; evidence } :: !out in
+  (* 1. A hop that stopped answering showPerf dominates everything else we
+     could say about it. *)
+  List.iter
+    (fun h ->
+      if is_silent t h.h_dev then
+        add (Unreachable_agent h.h_dev) 0.95
+          [ Fmt.str "%s unanswering for %d scrape round(s)" h.h_dev (silent_rounds t h.h_dev) ])
+    hops;
+  (* 2. Per-segment conservation: everything the tx side pushed onto the
+     wire must show up at the rx side. *)
+  List.iter
+    (fun s ->
+      if not (is_silent t s.s_from || is_silent t s.s_to) then begin
+        let txk = { device = s.s_from; module_id = s.s_from_module; pipe = s.s_from_pipe } in
+        let rxk = { device = s.s_to; module_id = s.s_to_module; pipe = s.s_to_pipe } in
+        let tx = last_delta t txk "down_frames" and rx = last_delta t rxk "up_frames" in
+        let txw = recent t txk "down_frames" and rxw = recent t rxk "up_frames" in
+        if tx > 0 && rx = 0 then
+          add (Cut_link s.s_name) 0.9
+            [
+              Fmt.str "%s sent %d frame(s) towards %s, %s received 0 (last scrape)" s.s_from tx
+                s.s_to s.s_to;
+            ]
+        else if txw > 0 && rxw < txw && txw - rxw >= max 2 (txw / 5) then
+          add (Lossy_segment s.s_name) 0.7
+            [
+              Fmt.str "%s sent %d frame(s), %s received only %d over the recent window" s.s_from
+                txw s.s_to rxw;
+            ]
+      end)
+    segs;
+  (* 3. Intra-device conservation: traffic enters a transit hop but never
+     leaves it, while its adjacent segments look healthy — the fault is a
+     module on the device. Blame the one whose own counters flag it. *)
+  List.iter
+    (fun h ->
+      if not (is_silent t h.h_dev) then begin
+        let seg_in = List.find_opt (fun s -> s.s_to = h.h_dev) segs in
+        let seg_out = List.find_opt (fun s -> s.s_from = h.h_dev) segs in
+        match (seg_in, seg_out) with
+        | Some si, Some so ->
+            let rxk = { device = h.h_dev; module_id = si.s_to_module; pipe = si.s_to_pipe } in
+            let txk = { device = h.h_dev; module_id = so.s_from_module; pipe = so.s_from_pipe } in
+            let rx_in = last_delta t rxk "up_frames" in
+            let tx_out = last_delta t txk "down_frames" in
+            if rx_in > 0 && tx_out = 0 then begin
+              let module_anomaly m =
+                (* strongest: a drop cause rising on one of its pipes *)
+                let drops =
+                  List.filter_map
+                    (fun k ->
+                      if k.device = h.h_dev && k.module_id = m then
+                        match samples t k with
+                        | [] -> None
+                        | sms -> (
+                            let latest = List.nth sms (List.length sms - 1) in
+                            match
+                              List.find_opt
+                                (fun (name, d) ->
+                                  d > 0 && String.length name >= 5
+                                  && String.sub name 0 5 = "drop:")
+                                latest.deltas
+                            with
+                            | Some (name, d) -> Some (Fmt.str "%s %s +%d" k.pipe name d)
+                            | None -> None)
+                      else None)
+                    (keys t)
+                in
+                drops
+              in
+              (* the ETH modules carrying the adjacent segments are healthy
+                 by construction here (traffic reached the device); blame
+                 the forwarding modules between them *)
+              let candidates =
+                List.filter (fun m -> m <> si.s_to_module && m <> so.s_from_module) h.h_modules
+              in
+              let blamed =
+                List.find_map
+                  (fun m -> match module_anomaly m with [] -> None | ev -> Some (m, ev))
+                  candidates
+              in
+              match blamed with
+              | Some (m, ev) ->
+                  add
+                    (Misconfigured_module { dev = h.h_dev; module_id = m })
+                    0.85
+                    (Fmt.str "%d frame(s) entered %s, none left" rx_in h.h_dev :: ev)
+              | None -> (
+                  match candidates with
+                  | m :: _ ->
+                      add
+                        (Misconfigured_module { dev = h.h_dev; module_id = m })
+                        0.5
+                        [
+                          Fmt.str "%d frame(s) entered %s, none left; no drop cause visible" rx_in
+                            h.h_dev;
+                        ]
+                  | [] -> ())
+            end
+        | _ -> ()
+      end)
+    hops;
+  List.stable_sort (fun a b -> compare b.confidence a.confidence) (List.rev !out)

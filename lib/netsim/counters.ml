@@ -18,6 +18,19 @@ let to_list t =
 
 let reset t = Hashtbl.reset t
 
+let snapshot = to_list
+
+(* Delta semantics for telemetry scrapes: counters are monotonic, so a
+   scrape-to-scrape delta is [after - before], with names absent from
+   [before] counting from zero. Names absent from [after] (a reset
+   device) are dropped rather than reported negative. *)
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, v_after) ->
+      let v_before = match List.assoc_opt name before with Some v -> v | None -> 0 in
+      if v_after >= v_before then Some (name, v_after - v_before) else Some (name, 0))
+    after
+
 let pp ppf t =
   Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.comma (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int))
     (to_list t)

@@ -12,4 +12,13 @@ val to_list : t -> (string * int) list
 (** Sorted by name. *)
 
 val reset : t -> unit
+
+val snapshot : t -> (string * int) list
+(** Alias of {!to_list}: a point-in-time scrape. *)
+
+val delta : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Scrape-to-scrape difference of two monotonic snapshots. Names absent
+    from [before] count from zero; a name whose value went backwards (a
+    reset counter) reports 0 instead of a negative delta. *)
+
 val pp : t Fmt.t

@@ -17,6 +17,7 @@ let transmit dev port_index frame =
     match p.port_endpoint with
     | Some ep ->
         Counters.incr p.port_counters "tx_frames";
+        Counters.incr ~by:(Bytes.length frame) p.port_counters "tx_bytes";
         Trace.emit ~device:dev.dev_name ~what:"tx" ~port:p.port_name frame;
         Link.send ep frame
     | None -> Counters.incr p.port_counters "tx_no_link"
@@ -120,6 +121,11 @@ let xmit_on_phys dev ~port_index ~iface ~via ~ethertype packet =
     arp_resolve dev ~port_index ~src_ip via (fun mac ->
         let p = dev.ports.(port_index) in
         Counters.incr iface.if_counters "tx_packets";
+        Counters.incr ~by:(Bytes.length packet) iface.if_counters "tx_bytes";
+        if Ethertype.equal ethertype Ethertype.Mpls_unicast then begin
+          Counters.incr iface.if_counters "tx_mpls";
+          Counters.incr ~by:(Bytes.length packet) iface.if_counters "tx_mpls_bytes"
+        end;
         transmit dev port_index
           (Ethernet.encode { Ethernet.dst = mac; src = p.port_mac; ethertype } packet))
 
@@ -166,19 +172,19 @@ let rec route_and_xmit dev ~depth ?in_iface (hdr : Ipv4.t) payload =
 and tunnel_encap dev ~depth ~iface tun inner =
   if not (policer_admit dev iface (Bytes.length inner)) then count dev "policer_drop"
   else begin
-  Counters.incr iface.if_counters "tx_packets";
-  let proto, payload =
+  let encapped =
     match tun.t_mode with
-    | Ipip_mode -> (Ip_proto.Ipip, inner)
+    | Ipip_mode -> Some (Ip_proto.Ipip, inner)
     | Esp_mode -> (
         match (tun.t_okey, tun.t_enc_out) with
         | Some spi, Some key ->
             tun.t_tx_seq <- Int32.add tun.t_tx_seq 1l;
-            (Ip_proto.Esp, Esp.encode ~key { Esp.spi; seq = tun.t_tx_seq } inner)
+            Some (Ip_proto.Esp, Esp.encode ~key { Esp.spi; seq = tun.t_tx_seq } inner)
         | _ ->
-            (* no SA established: nothing leaves in the clear *)
+            (* no SA established: nothing leaves in the clear — and nothing
+               was transmitted, so tx_packets must not count it *)
             Counters.incr iface.if_counters "tx_no_sa_drop";
-            (Ip_proto.Esp, Bytes.empty))
+            None)
     | Gre_mode ->
         let seq =
           if tun.t_oseq then begin
@@ -188,12 +194,17 @@ and tunnel_encap dev ~depth ~iface tun inner =
           else None
         in
         let g = Gre.make ?key:tun.t_okey ?seq ~with_csum:tun.t_ocsum Ethertype.Ipv4 in
-        (Ip_proto.Gre, Gre.encode g inner)
+        Some (Ip_proto.Gre, Gre.encode g inner)
   in
-  let outer =
-    Ipv4.make ~tos:tun.t_tos ~ttl:tun.t_ttl ~proto ~src:tun.t_local ~dst:tun.t_remote ()
-  in
-  route_and_xmit dev ~depth:(depth + 1) outer payload
+  match encapped with
+  | None -> ()
+  | Some (proto, payload) ->
+      Counters.incr iface.if_counters "tx_packets";
+      Counters.incr ~by:(Bytes.length inner) iface.if_counters "tx_bytes";
+      let outer =
+        Ipv4.make ~tos:tun.t_tos ~ttl:tun.t_ttl ~proto ~src:tun.t_local ~dst:tun.t_remote ()
+      in
+      route_and_xmit dev ~depth:(depth + 1) outer payload
   end
 
 and mpls_impose dev ~depth key ip_bytes =
@@ -293,6 +304,7 @@ and gre_input dev ~depth hdr payload =
             count dev "gre_proto_drop"
           else begin
             Counters.incr iface.if_counters "rx_packets";
+            Counters.incr ~by:(Bytes.length inner) iface.if_counters "rx_bytes";
             ip_input_bytes dev ~depth:(depth + 1) ~in_iface:iface.if_name inner
           end)
 
@@ -314,6 +326,7 @@ and esp_input dev ~depth hdr payload =
               end
               else begin
                 Counters.incr iface.if_counters "rx_packets";
+                Counters.incr ~by:(Bytes.length inner) iface.if_counters "rx_bytes";
                 ip_input_bytes dev ~depth:(depth + 1) ~in_iface:iface.if_name inner
               end)
       | _ -> count dev "esp_no_sa_drop")
@@ -323,6 +336,7 @@ and ipip_input dev ~depth hdr payload =
   | None -> count dev "ipip_no_tunnel_drop"
   | Some iface ->
       Counters.incr iface.if_counters "rx_packets";
+      Counters.incr ~by:(Bytes.length payload) iface.if_counters "rx_bytes";
       ip_input_bytes dev ~depth:(depth + 1) ~in_iface:iface.if_name payload
 
 (* --- IP input --------------------------------------------------------- *)
@@ -391,10 +405,13 @@ let mpls_input dev ~in_iface buf =
                            next hop, bypassing the IP routing table. *)
                         match find_iface dev nh.nh_dev with
                         | Some ({ if_kind = Phys port_index; _ } as iface) ->
+                            count dev "mpls_switched";
                             xmit_on_phys dev ~port_index ~iface ~via:nh.nh_via
                               ~ethertype:Ethertype.Ipv4 ip_bytes
                         | Some _ | None -> count dev "mpls_bad_dev_drop")
-                    | stack, _ -> mpls_xmit dev ~depth:0 nh (Mpls.encode stack ip_bytes))))
+                    | stack, _ ->
+                        count dev "mpls_switched";
+                        mpls_xmit dev ~depth:0 nh (Mpls.encode stack ip_bytes))))
 
 (* --- Ethernet switching (learning bridge with 802.1Q and QinQ) -------- *)
 
@@ -457,7 +474,12 @@ let egress_frame dev port vid frame =
   | Trunk { allowed; native } ->
       if not (allowed = [] || List.mem vid allowed) then None
       else if native = Some vid && not dev.sw.tag_native then Some frame
-      else check_mtu (push_outer_tag frame vid)
+      else (
+        match check_mtu (push_outer_tag frame vid) with
+        | Some f ->
+            Counters.incr port.port_counters "tagged_frames";
+            Some f
+        | None -> None)
 
 let switch_forward dev ~in_port frame =
   let p = dev.ports.(in_port) in
@@ -486,6 +508,7 @@ let switch_forward dev ~in_port frame =
 let eth_input dev ~in_port frame =
   let p = dev.ports.(in_port) in
   Counters.incr p.port_counters "rx_frames";
+  Counters.incr ~by:(Bytes.length frame) p.port_counters "rx_bytes";
   Trace.emit ~device:dev.dev_name ~what:"rx" ~port:p.port_name frame;
   match Ethernet.read (Cursor.reader frame) with
   | exception Cursor.Truncated -> Counters.incr p.port_counters "rx_bad"
@@ -504,10 +527,22 @@ let eth_input dev ~in_port frame =
         Mac_addr.equal eth.Ethernet.dst p.port_mac || Mac_addr.is_broadcast eth.Ethernet.dst
       then begin
         let in_iface = p.port_name in
+        let count_iface pkts byts =
+          match find_iface dev in_iface with
+          | Some i ->
+              let pl = payload () in
+              Counters.incr i.if_counters pkts;
+              Counters.incr ~by:(Bytes.length pl) i.if_counters byts
+          | None -> ()
+        in
         match eth.Ethernet.ethertype with
         | Ethertype.Arp -> arp_input dev ~port_index:in_port (payload ())
-        | Ethertype.Ipv4 -> ip_input_bytes dev ~depth:0 ~in_iface (payload ())
-        | Ethertype.Mpls_unicast -> mpls_input dev ~in_iface (payload ())
+        | Ethertype.Ipv4 ->
+            count_iface "rx_packets" "rx_bytes";
+            ip_input_bytes dev ~depth:0 ~in_iface (payload ())
+        | Ethertype.Mpls_unicast ->
+            count_iface "rx_mpls" "rx_mpls_bytes";
+            mpls_input dev ~in_iface (payload ())
         | Ethertype.Vlan | Ethertype.Qinq | Ethertype.Mgmt | Ethertype.Other _ ->
             count dev "eth_unknown_type"
       end

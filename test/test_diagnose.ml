@@ -1,0 +1,301 @@
+(* Tests for the fault-diagnosis & telemetry subsystem: Counters delta
+   semantics, the bounded Trace ring, the showPerf scrape (including over a
+   lossy management channel), the counter-based root-cause localizer, and
+   the Monitor picking its first repair rung from the diagnosis. *)
+
+open Conman
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- Counters delta semantics -------------------------------------------------- *)
+
+let test_counters_delta () =
+  let c = Netsim.Counters.create () in
+  Netsim.Counters.incr c "rx";
+  Netsim.Counters.incr ~by:4 c "tx";
+  let before = Netsim.Counters.snapshot c in
+  Netsim.Counters.incr ~by:2 c "rx";
+  Netsim.Counters.incr c "drop:mtu";
+  let after = Netsim.Counters.snapshot c in
+  let d = Netsim.Counters.delta ~before ~after in
+  check tint "changed counter reports its difference" 2 (List.assoc "rx" d);
+  check tint "flat counter reports zero" 0 (List.assoc "tx" d);
+  check tint "counter absent from the baseline counts from zero" 1 (List.assoc "drop:mtu" d);
+  Netsim.Counters.reset c;
+  Netsim.Counters.incr c "rx";
+  let d2 = Netsim.Counters.delta ~before:after ~after:(Netsim.Counters.snapshot c) in
+  check tint "a reset counter clamps to zero, not negative" 0 (List.assoc "rx" d2)
+
+(* --- bounded trace ring --------------------------------------------------------- *)
+
+let test_trace_cap () =
+  let saved = Netsim.Trace.get_limit () in
+  Fun.protect
+    ~finally:(fun () ->
+      Netsim.Trace.set_limit saved;
+      Netsim.Trace.clear ())
+    (fun () ->
+      Netsim.Trace.clear ();
+      Netsim.Trace.set_limit 10;
+      Netsim.Trace.enabled := true;
+      for i = 1 to 25 do
+        Netsim.Trace.emit ~device:"dev" ~what:(string_of_int i) Bytes.empty
+      done;
+      Netsim.Trace.enabled := false;
+      let events = Netsim.Trace.get () in
+      check tint "buffer capped at the limit" 10 (List.length events);
+      check tint "oldest events were the ones dropped" 15 (Netsim.Trace.dropped ());
+      (match events with
+      | first :: _ ->
+          check tbool "survivors are the newest events" true (first.Netsim.Trace.what = "16")
+      | [] -> Alcotest.fail "empty trace");
+      Netsim.Trace.clear ();
+      check tint "clear resets the dropped count" 0 (Netsim.Trace.dropped ()))
+
+(* --- the showPerf scrape -------------------------------------------------------- *)
+
+let configured_vpn ?(pick = Scenarios.pure_gre) () =
+  let v = Scenarios.build_vpn () in
+  let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
+  let path = List.find pick paths in
+  let _ = Nm.configure_path v.Scenarios.nm v.Scenarios.goal path in
+  (v, path)
+
+let pump v =
+  for _ = 1 to 4 do
+    ignore (Scenarios.vpn_reachable v)
+  done
+
+let test_show_perf_truthful () =
+  let v, _ = configured_vpn () in
+  pump v;
+  match Nm.show_perf v.Scenarios.nm "id-A" with
+  | None -> Alcotest.fail "no showPerf answer from id-A"
+  | Some reports ->
+      (* every advertised perf_reporting counter of the ETH module shows up
+         on its pipes, and traffic actually moved them *)
+      let eth =
+        match List.find_opt (fun ((m : Ids.t), _) -> m.Ids.name = "ETH") reports with
+        | Some (_, pipes) -> pipes
+        | None -> Alcotest.fail "ETH module missing from the perf report"
+      in
+      check tbool "ETH reports at least one pipe" true (eth <> []);
+      List.iter
+        (fun (_, counters) ->
+          List.iter
+            (fun name ->
+              check tbool (name ^ " present on every ETH pipe") true
+                (List.mem_assoc name counters))
+            [ "up_frames"; "up_bytes"; "down_frames"; "down_bytes" ])
+        eth;
+      let moved =
+        List.exists
+          (fun (_, counters) ->
+            List.assoc "down_frames" counters > 0 && List.assoc "down_bytes" counters > 0)
+          eth
+      in
+      check tbool "data-plane traffic moved the ETH counters" true moved
+
+let test_scrape_over_lossy_channel () =
+  let v, _ = configured_vpn () in
+  pump v;
+  Mgmt.Faults.set_drop v.Scenarios.faults 0.3;
+  (* reliable delivery (acks + retries) must still get the scrape through *)
+  for _ = 1 to 3 do
+    match Nm.show_perf v.Scenarios.nm "id-B" with
+    | None -> Alcotest.fail "showPerf lost despite reliable delivery"
+    | Some reports -> check tbool "transit device reports modules" true (reports <> [])
+  done
+
+(* --- root-cause localization ---------------------------------------------------- *)
+
+(* Two healthy rounds (baseline + known-good delta), inject, then scrape
+   until the localizer speaks — mirroring the NM poller's view. *)
+let localize ?(rounds = 4) ~pick ~inject () =
+  let v, path = configured_vpn ~pick () in
+  let tel = Telemetry.create ~scope:v.Scenarios.scope v.Scenarios.nm in
+  for _ = 1 to 2 do
+    pump v;
+    Telemetry.scrape tel
+  done;
+  inject v;
+  let rec go n =
+    pump v;
+    Telemetry.scrape tel;
+    match Telemetry.diagnose_path tel path with
+    | d :: _ as ds -> (v, ds, d)
+    | [] -> if n > 1 then go (n - 1) else Alcotest.fail "localizer stayed silent"
+  in
+  go rounds
+
+let vpn_seg (v : Scenarios.vpn) =
+  Netsim.Net.find_segment_exn v.Scenarios.tb.Netsim.Testbeds.vpn_net "A--B"
+
+let test_localize_cut_link () =
+  let _, _, top =
+    localize ~pick:Scenarios.pure_gre ~inject:(fun v -> Netsim.Link.cut (vpn_seg v)) ()
+  in
+  (match top.Diagnose.verdict with
+  | Diagnose.Cut_link seg -> check Alcotest.string "cut segment named" "id-A--id-B" seg
+  | other -> Alcotest.failf "expected a cut link, got %a" Diagnose.pp_verdict other);
+  check tbool "high confidence" true (top.Diagnose.confidence >= 0.9)
+
+let test_localize_misconfigured_mpls () =
+  let _, _, top =
+    localize ~pick:Scenarios.pure_mpls
+      ~inject:(fun v ->
+        Hashtbl.iter
+          (fun _ (ilm : Netsim.Device.ilm) -> ilm.Netsim.Device.ilm_xc <- None)
+          v.Scenarios.tb.Netsim.Testbeds.rb.Netsim.Device.mpls.Netsim.Device.ilm_table)
+      ()
+  in
+  match top.Diagnose.verdict with
+  | Diagnose.Misconfigured_module { dev; module_id } ->
+      check Alcotest.string "blamed device" "id-B" dev;
+      check tbool "blamed the MPLS module, not ETH" true (contains_sub module_id ".p");
+      check tbool "evidence names the drop cause" true
+        (List.exists (fun e -> contains_sub e "drop:no_xc") top.Diagnose.evidence)
+  | other -> Alcotest.failf "expected a misconfigured module, got %a" Diagnose.pp_verdict other
+
+let test_localize_lossy_segment () =
+  let _, _, top =
+    localize ~pick:Scenarios.pure_gre
+      ~inject:(fun v ->
+        Netsim.Link.set_seed (vpn_seg v) 7L;
+        Netsim.Link.set_loss (vpn_seg v) 0.5)
+      ()
+  in
+  match top.Diagnose.verdict with
+  | Diagnose.Lossy_segment seg -> check Alcotest.string "lossy segment named" "id-A--id-B" seg
+  | other -> Alcotest.failf "expected a lossy segment, got %a" Diagnose.pp_verdict other
+
+let test_localize_unreachable_agent () =
+  let _, _, top =
+    localize ~pick:Scenarios.pure_gre
+      ~inject:(fun v -> Mgmt.Faults.partition v.Scenarios.faults "id-B")
+      ()
+  in
+  match top.Diagnose.verdict with
+  | Diagnose.Unreachable_agent dev -> check Alcotest.string "silent device named" "id-B" dev
+  | other -> Alcotest.failf "expected an unreachable agent, got %a" Diagnose.pp_verdict other
+
+(* --- the Monitor consults the diagnosis ----------------------------------------- *)
+
+let test_monitor_reroutes_on_diagnosed_cut () =
+  let d = Scenarios.build_diamond () in
+  let nm = d.Scenarios.dnm in
+  let chosen =
+    match Nm.achieve nm d.Scenarios.dgoal with
+    | Ok (_, path, _) ->
+        List.find_map
+          (fun (v : Path_finder.visit) ->
+            let dev = v.Path_finder.v_mod.Ids.dev in
+            if dev = "id-B1" || dev = "id-B2" then Some dev else None)
+          path.Path_finder.visits
+        |> Option.get
+    | Error e -> Alcotest.failf "achieve: %s" e
+  in
+  let seg_name = if chosen = "id-B1" then "A--B1" else "A--B2" in
+  let seg = Netsim.Net.find_segment_exn d.Scenarios.dtb.Netsim.Testbeds.dia_net seg_name in
+  Netsim.Link.flap ~cycles:1 seg ~first_down_ns:1_000_000_000L ~down_ns:3_000_000_000L
+    ~up_ns:1_000_000_000L;
+  let tel = Telemetry.create ~scope:d.Scenarios.dscope nm in
+  let mon = Monitor.create ~telemetry:tel nm in
+  Monitor.run mon ~ticks:10;
+  let diagnosed =
+    List.find_opt
+      (fun (e : Monitor.event) -> contains_sub e.Monitor.ev_what "diagnosed")
+      (Monitor.events mon)
+  in
+  (match diagnosed with
+  | Some e ->
+      check tbool "first diagnosis is the cut" true (contains_sub e.Monitor.ev_what "cut link");
+      check tbool "and it picks reroute as the first rung" true
+        (contains_sub e.Monitor.ev_what "rerouting")
+  | None -> Alcotest.fail "monitor never logged a diagnosis");
+  check tint "no resync wasted on a cut path" 0 (Monitor.resyncs mon);
+  check tbool "repaired over the other core" true (Monitor.repairs mon >= 1);
+  check tbool "reachable after repair" true (Scenarios.diamond_reachable d)
+
+let test_monitor_resyncs_on_diagnosed_drift () =
+  let v = Scenarios.build_vpn () in
+  let nm = v.Scenarios.nm in
+  let script =
+    match Nm.achieve nm v.Scenarios.goal with
+    | Ok (_, _, s) -> s
+    | Error e -> Alcotest.failf "achieve: %s" e
+  in
+  let tel = Telemetry.create ~scope:v.Scenarios.scope nm in
+  let mon = Monitor.create ~telemetry:tel nm in
+  Monitor.run mon ~ticks:2;
+  (* an operator wipes a pipe of the transit device behind the NM's back:
+     traffic now dies inside id-B, which the localizer reads as a
+     misconfigured module — the cheap repair (resync) must come first *)
+  let owner, pid =
+    match
+      List.find_map
+        (function
+          | Primitive.Create_pipe spec when spec.Primitive.top.Ids.dev = "id-B" ->
+              Some (spec.Primitive.top, spec.Primitive.pipe_id)
+          | _ -> None)
+        script.Script_gen.prims
+    with
+    | Some x -> x
+    | None -> Alcotest.fail "no pipe on the transit device in the script"
+  in
+  let agent_b = List.assoc "B" v.Scenarios.agents in
+  (match Agent.find_module agent_b owner with
+  | Some m -> m.Module_impl.delete_pipe pid
+  | None -> Alcotest.failf "module %s not found on B" (Ids.qualified owner));
+  Monitor.run mon ~ticks:4;
+  (match
+     List.find_opt
+       (fun (e : Monitor.event) -> contains_sub e.Monitor.ev_what "diagnosed")
+       (Monitor.events mon)
+   with
+  | Some e ->
+      check tbool "diagnosis blames a module on id-B" true
+        (contains_sub e.Monitor.ev_what "misconfigured module"
+        && contains_sub e.Monitor.ev_what "id-B");
+      check tbool "and picks resync as the first rung, not reroute" true
+        (contains_sub e.Monitor.ev_what "resyncing")
+  | None -> Alcotest.fail "monitor never logged a diagnosis");
+  check tbool "resynced in place" true (Monitor.resyncs mon >= 1);
+  check tbool "VPN reachable again" true (Scenarios.vpn_reachable v)
+
+let () =
+  Alcotest.run "diagnose"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "delta semantics" `Quick test_counters_delta;
+          Alcotest.test_case "trace ring cap" `Quick test_trace_cap;
+        ] );
+      ( "scrape",
+        [
+          Alcotest.test_case "showPerf is truthful" `Quick test_show_perf_truthful;
+          Alcotest.test_case "survives a lossy channel" `Quick test_scrape_over_lossy_channel;
+        ] );
+      ( "localizer",
+        [
+          Alcotest.test_case "cut link" `Quick test_localize_cut_link;
+          Alcotest.test_case "misconfigured MPLS xconnect" `Quick
+            test_localize_misconfigured_mpls;
+          Alcotest.test_case "lossy segment" `Quick test_localize_lossy_segment;
+          Alcotest.test_case "unreachable agent" `Quick test_localize_unreachable_agent;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "reroutes on diagnosed cut" `Quick
+            test_monitor_reroutes_on_diagnosed_cut;
+          Alcotest.test_case "resyncs on diagnosed drift" `Quick
+            test_monitor_resyncs_on_diagnosed_drift;
+        ] );
+    ]
