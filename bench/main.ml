@@ -466,16 +466,102 @@ let diagnose_datapoints () =
   print_endline "\n===== fault-localization data points (BENCH_diagnose.json) =====";
   print_string json
 
+(* --- chaos data points (BENCH_chaos.json) --------------------------------------- *)
+
+(* A 20-seed quick soak of the chaos engine (every invariant must hold on
+   every seed — the headline number is [violations] = 0), plus a shrinker
+   demo: with the oscillation bound deliberately weakened to zero, a
+   generated schedule "fails", and the shrinker must reduce it to a tiny
+   repro whose serialised form still reproduces the violation. *)
+let chaos_datapoints () =
+  let soak_ticks = 6 in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let per_seed =
+    List.map
+      (fun seed ->
+        let sched = Chaos.Schedule.generate ~seed ~ticks:soak_ticks () in
+        let r = Chaos.Engine.run sched in
+        let fails = List.map (fun v -> v.Chaos.Engine.name) (Chaos.Engine.failures r) in
+        (seed, List.length sched.Chaos.Schedule.events, r, fails))
+      seeds
+  in
+  let violations = List.length (List.filter (fun (_, _, _, fails) -> fails <> []) per_seed) in
+  (* the shrinker demo: weaken one invariant, shrink the resulting failure *)
+  let weak = { Chaos.Engine.default_config with Chaos.Engine.oscillation_bound = Some 0 } in
+  let demo = Chaos.Schedule.generate ~seed:21 ~ticks:soak_ticks () in
+  let failing s = Chaos.Engine.failures (Chaos.Engine.run ~config:weak s) <> [] in
+  let demo_failed = failing demo in
+  let { Chaos.Shrink.minimized; runs } = Chaos.Shrink.minimize ~failing demo in
+  let replay_reproduces =
+    failing (Chaos.Schedule.of_string (Chaos.Schedule.to_string minimized))
+  in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let seed_json (seed, events, (r : Chaos.Engine.report), fails) =
+    Printf.sprintf
+      "    { \"seed\": %d, \"events\": %d, \"ok\": %b, \"repairs\": %d, \"nm_crashes\": %d, \
+       \"converged\": %b, \"failed_invariants\": [%s] }"
+      seed events (fails = []) r.Chaos.Engine.total_repairs r.Chaos.Engine.nm_crashes
+      (r.Chaos.Engine.converged_tick <> None)
+      (String.concat ", " (List.map (fun n -> "\"" ^ escape n ^ "\"") fails))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"soak\": {\n\
+      \    \"seeds\": %d,\n\
+      \    \"ticks\": %d\n\
+      \  },\n\
+      \  \"violations\": %d,\n\
+      \  \"per_seed\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"weakened\": {\n\
+      \    \"invariant\": \"oscillation (bound forced to 0)\",\n\
+      \    \"seed\": 21,\n\
+      \    \"initial_failed\": %b,\n\
+      \    \"initial_events\": %d,\n\
+      \    \"minimized_events\": %d,\n\
+      \    \"shrink_runs\": %d,\n\
+      \    \"replay_reproduces\": %b,\n\
+      \    \"minimized_repro\": \"%s\"\n\
+      \  }\n\
+       }\n"
+      (List.length seeds) soak_ticks violations
+      (String.concat ",\n" (List.map seed_json per_seed))
+      demo_failed
+      (List.length demo.Chaos.Schedule.events)
+      (List.length minimized.Chaos.Schedule.events)
+      runs replay_reproduces
+      (escape (Chaos.Schedule.to_string minimized))
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== chaos soak data points (BENCH_chaos.json) =====";
+  print_string json
+
 let quick = Array.exists (fun a -> a = "--quick" || a = "quick") Sys.argv
 
 let () =
   if quick then begin
     selfheal_datapoints ();
-    diagnose_datapoints ()
+    diagnose_datapoints ();
+    chaos_datapoints ()
   end
   else begin
     reproductions ();
     run_benchmarks ();
     selfheal_datapoints ();
-    diagnose_datapoints ()
+    diagnose_datapoints ();
+    chaos_datapoints ()
   end

@@ -282,15 +282,138 @@ let diagnose fault rounds =
   | [] -> Fmt.pr "  (none)@."
   | anoms -> List.iter (fun a -> Fmt.pr "  %a@." Diagnose.pp_anomaly a) anoms);
   Fmt.pr "@.ranked diagnosis:@.";
-  match Telemetry.diagnose_path tel path with
+  (match Telemetry.diagnose_path tel path with
   | [] -> Fmt.pr "  (nothing to report)@."
-  | ds -> List.iter (fun d -> Fmt.pr "  @[<v>%a@]@." Diagnose.pp_diagnosis d) ds
+  | ds -> List.iter (fun d -> Fmt.pr "  @[<v>%a@]@." Diagnose.pp_diagnosis d) ds);
+  let c = Mgmt.Faults.counters v.Scenarios.faults in
+  Fmt.pr "@.management-channel fault counters:@.";
+  Fmt.pr "  dropped=%d duplicated=%d delayed=%d crash-drops=%d partition-drops=%d@."
+    c.Mgmt.Faults.dropped c.Mgmt.Faults.duplicated c.Mgmt.Faults.delayed
+    c.Mgmt.Faults.crash_drops c.Mgmt.Faults.partition_drops
 
 let diagnose_cmd =
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Inject a fault, scrape showPerf telemetry and localise the root cause from counters")
     Term.(const diagnose $ diag_fault_arg $ diag_rounds_arg)
+
+(* --- chaos --------------------------------------------------------------------- *)
+
+let chaos_seed_arg =
+  let doc = "Seed for the composite fault schedule." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let chaos_seeds_arg =
+  let doc = "Run a whole seed set (comma-separated); overrides --seed." in
+  Arg.(value & opt (some (list int)) None & info [ "seeds" ] ~docv:"NS" ~doc)
+
+let chaos_ticks_arg =
+  let doc = "Chaos-phase length in monitor ticks (default 12, or 6 with --quick)." in
+  Arg.(value & opt (some int) None & info [ "ticks" ] ~docv:"T" ~doc)
+
+let chaos_intensity_arg =
+  let doc = "Fault events per tick of schedule." in
+  Arg.(value & opt float 0.5 & info [ "intensity" ] ~docv:"F" ~doc)
+
+let chaos_quick_arg =
+  let doc = "Quick mode: shorter schedules (CI smoke)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let chaos_replay_arg =
+  let doc = "Replay a schedule from a sexp repro file instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let chaos_weaken_arg =
+  let doc =
+    "Deliberately weaken an invariant to demonstrate the shrinker: 'oscillation' sets the \
+     per-intent reroute bound to zero, so any repair counts as a violation."
+  in
+  Arg.(value & opt (some (enum [ ("oscillation", `Oscillation) ])) None
+       & info [ "weaken" ] ~docv:"INVARIANT" ~doc)
+
+let chaos_out_arg =
+  let doc = "Where to write the minimized repro on failure (default chaos_repro_seed<N>.sexp)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let chaos_trace_arg =
+  let doc = "Print the monitor's event trace after each run (debugging a repro)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_string oc "\n";
+  close_out oc
+
+let chaos seed seeds ticks intensity quick replay weaken out show_trace =
+  let ticks = match ticks with Some t -> t | None -> if quick then 6 else 12 in
+  let config =
+    match weaken with
+    | Some `Oscillation ->
+        { Chaos.Engine.default_config with Chaos.Engine.oscillation_bound = Some 0 }
+    | None -> Chaos.Engine.default_config
+  in
+  let run_one sched =
+    let r = Chaos.Engine.run ~config sched in
+    Fmt.pr "seed %d · %d event(s) over %d ticks (+%d tail):@." sched.Chaos.Schedule.seed
+      (List.length sched.Chaos.Schedule.events)
+      sched.Chaos.Schedule.ticks sched.Chaos.Schedule.tail;
+    Fmt.pr "%a" Chaos.Engine.pp_report r;
+    if show_trace then List.iter (fun l -> Fmt.pr "    %s@." l) r.Chaos.Engine.trace;
+    match Chaos.Engine.failures r with
+    | [] -> true
+    | fails ->
+        let names = List.map (fun v -> v.Chaos.Engine.name) fails in
+        Fmt.pr "  shrinking the failure...@.";
+        let failing s =
+          let r' = Chaos.Engine.run ~config s in
+          let names' = List.map (fun v -> v.Chaos.Engine.name) (Chaos.Engine.failures r') in
+          List.exists (fun n -> List.mem n names') names
+        in
+        let { Chaos.Shrink.minimized; runs } = Chaos.Shrink.minimize ~failing sched in
+        let path =
+          match out with
+          | Some p -> p
+          | None -> Printf.sprintf "chaos_repro_seed%d.sexp" sched.Chaos.Schedule.seed
+        in
+        write_file path (Chaos.Schedule.to_string minimized);
+        Fmt.pr "  minimized to %d event(s) in %d runs:@."
+          (List.length minimized.Chaos.Schedule.events)
+          runs;
+        Fmt.pr "%a" Chaos.Schedule.pp minimized;
+        Fmt.pr "  repro written to %s (re-run with: conman chaos --replay %s%s)@." path path
+          (match weaken with Some `Oscillation -> " --weaken oscillation" | None -> "");
+        false
+  in
+  let ok =
+    match replay with
+    | Some file ->
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let contents = really_input_string ic n in
+        close_in ic;
+        run_one (Chaos.Schedule.of_string (String.trim contents))
+    | None ->
+        let seed_list = match seeds with Some ss -> ss | None -> [ seed ] in
+        List.fold_left
+          (fun acc s ->
+            let sched = Chaos.Schedule.generate ~intensity ~seed:s ~ticks () in
+            run_one sched && acc)
+          true seed_list
+  in
+  if ok then Fmt.pr "all invariants held@." else exit 1
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded composite fault schedule (link cuts/loss/flaps, management-channel \
+          faults, agent and NM crashes) against the diamond testbed and check the global \
+          invariants; on violation, shrink to a minimized sexp repro")
+    Term.(
+      const chaos $ chaos_seed_arg $ chaos_seeds_arg $ chaos_ticks_arg $ chaos_intensity_arg
+      $ chaos_quick_arg $ chaos_replay_arg $ chaos_weaken_arg $ chaos_out_arg
+      $ chaos_trace_arg)
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -301,4 +424,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd ]))
+       (Cmd.group info
+          [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd ]))

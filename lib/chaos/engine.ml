@@ -1,0 +1,418 @@
+(* The chaos engine: drives a Schedule.t over a live diamond deployment and
+   checks global invariants.
+
+   The run has two phases. During the chaos phase each monitor tick first
+   fires due fault-reverts, then applies the schedule events due at that
+   tick, then lets the reconciliation loop take its tick. After the last
+   chaos tick every outstanding fault is force-reverted (crashed devices
+   restart and re-announce, knobs are cleared) and the quiescence tail
+   begins: up to [tail] clean ticks during which every live intent must
+   re-converge.
+
+   Invariants checked at quiescence:
+     convergence          every live intent Active and the testbed carries
+                          end-to-end traffic within the tail
+     oscillation          bounded successful reroutes per intent (carried
+                          across NM crashes)
+     conservation         per-segment drop accounting balances, and the
+                          counter-based localizer finds nothing wrong on
+                          the converged path
+     journal-equivalence  a fresh NM recovering from this run's journal on
+                          a fresh testbed reaches the same structural
+                          show_actual fixpoint as a fresh NM achieving the
+                          goal directly
+     stale-state          tearing every surviving script down returns every
+                          scoped device to its pre-achieve structural state
+                          (no leaked pipes/labels/xconnects)
+
+   Everything is deterministic: same schedule, same verdicts, same fault
+   counters, same monitor event trace — which is what makes the shrinker
+   (Shrink) and `--replay` trustworthy. *)
+
+open Conman
+open Netsim
+
+type config = {
+  monitor : Monitor.config;
+  oscillation_bound : int option;
+      (* max successful reroutes per intent; None derives a generous bound
+         from the schedule size. Some 0 is the "weakened invariant" used to
+         demonstrate the shrinker. *)
+}
+
+let default_config = { monitor = Monitor.default_config; oscillation_bound = None }
+
+type verdict = { name : string; ok : bool; detail : string }
+
+type report = {
+  verdicts : verdict list;
+  converged_tick : int option; (* tail tick at which everything was healthy *)
+  total_repairs : int;
+  nm_crashes : int;
+  mgmt_counters : string;
+  trace : string list; (* monitor event log, across NM incarnations *)
+}
+
+let failures r = List.filter (fun v -> not v.ok) r.verdicts
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%-20s %s  %s" v.name (if v.ok then "ok  " else "FAIL") v.detail
+
+let pp_report ppf r =
+  List.iter (fun v -> Fmt.pf ppf "  %a@." pp_verdict v) r.verdicts;
+  Fmt.pf ppf "  converged=%s repairs=%d nm-crashes=%d %s@."
+    (match r.converged_tick with Some t -> Printf.sprintf "tail+%d" t | None -> "never")
+    r.total_repairs r.nm_crashes r.mgmt_counters
+
+(* Same notion of structural state as the monitor's drift check: show_actual
+   keys, qualified by module, minus transient pending[..] negotiation
+   entries and all values (which carry traffic counters). *)
+let structural_keys state =
+  List.concat_map
+    (fun ((m : Ids.t), kvs) ->
+      List.filter_map
+        (fun (k, _) ->
+          if String.length k >= 8 && String.sub k 0 8 = "pending[" then None
+          else Some (Ids.qualified m ^ "/" ^ k))
+        kvs)
+    state
+  |> List.sort_uniq compare
+
+let scope_keys nm scope =
+  List.map
+    (fun dev ->
+      (dev, match Nm.show_actual nm dev with Some st -> structural_keys st | None -> []))
+    scope
+
+let render_counters faults =
+  let c = Mgmt.Faults.counters faults in
+  Printf.sprintf "mgmt[dropped=%d duplicated=%d delayed=%d crash=%d partition=%d]"
+    c.Mgmt.Faults.dropped c.Mgmt.Faults.duplicated c.Mgmt.Faults.delayed
+    c.Mgmt.Faults.crash_drops c.Mgmt.Faults.partition_drops
+
+let ms_ns ms = Int64.mul (Int64.of_int ms) 1_000_000L
+
+let run ?(config = default_config) (sched : Schedule.t) =
+  (* Request ids embed a per-process NM boot counter, and their printed
+     width leaks into frame sizes (and so into fault-stream alignment):
+     pin the counter so a schedule replays identically in any process,
+     regardless of how many NMs ran before. Safe because everything below
+     lives on a freshly built testbed. *)
+  Nm.set_incarnations 0;
+  let d = Scenarios.build_diamond ~fault_seed:sched.Schedule.seed () in
+  let net = d.Scenarios.dtb.Testbeds.dia_net in
+  let eq = Net.eq net in
+  let faults = d.Scenarios.dfaults in
+  let scope = d.Scenarios.dscope in
+  let seg name = Net.find_segment_exn net name in
+  let device id =
+    match Net.device_by_id net id with
+    | Some dev -> dev
+    | None -> failwith ("chaos: unknown device " ^ id)
+  in
+  (* Segment PRNGs default to the global link-id counter, which advances
+     across testbed builds in one process: reseed from the schedule seed so
+     identical runs see identical loss patterns regardless of how many
+     testbeds were built before. *)
+  List.iteri
+    (fun i name -> Link.set_seed (seg name) (Int64.of_int ((sched.Schedule.seed * 1_000_003) + i)))
+    Schedule.core_segments;
+  Mgmt.Faults.reset_counters faults;
+  let baseline = scope_keys d.Scenarios.dnm scope in
+  (match Nm.achieve d.Scenarios.dnm d.Scenarios.dgoal with
+  | Ok _ -> ()
+  | Error e -> failwith ("chaos: initial achieve failed: " ^ e));
+  (* mutable because an Nm_crash event replaces all three *)
+  let nm = ref d.Scenarios.dnm in
+  let mon =
+    ref
+      (Monitor.create ~config:config.monitor
+         ~telemetry:(Telemetry.create ~scope !nm)
+         !nm)
+  in
+  let trace = ref [] in
+  let carried = Hashtbl.create 8 in (* intent id -> repairs under dead NMs *)
+  let dead_monitor_repairs = ref 0 in
+  let nm_crashes = ref 0 in
+  let reverts = ref [] in (* (due_tick, undo) *)
+  let fire_reverts tick =
+    let due, later = List.partition (fun (at, _) -> at <= tick) !reverts in
+    reverts := later;
+    List.iter (fun (_, undo) -> undo ()) due
+  in
+  let apply tick (e : Schedule.event) =
+    let until ticks undo = reverts := (tick + ticks, undo) :: !reverts in
+    match e.Schedule.fault with
+    | Schedule.Link_cut { seg = s; ticks } ->
+        let sg = seg s in
+        Link.cut sg;
+        until ticks (fun () -> Link.restore sg)
+    | Schedule.Link_loss { seg = s; p; ticks } ->
+        let sg = seg s in
+        Link.set_loss sg p;
+        until ticks (fun () -> Link.set_loss sg 0.0)
+    | Schedule.Link_corrupt { seg = s; p; ticks } ->
+        let sg = seg s in
+        Link.set_corrupt sg p;
+        until ticks (fun () -> Link.set_corrupt sg 0.0)
+    | Schedule.Link_flap { seg = s; cycles; down_ms; up_ms } ->
+        (* self-terminating: schedules its own cut/restore pairs *)
+        Link.flap ~cycles (seg s) ~first_down_ns:10_000_000L ~down_ns:(ms_ns down_ms)
+          ~up_ns:(ms_ns up_ms)
+    | Schedule.Mgmt_drop { p; ticks } ->
+        Mgmt.Faults.set_drop faults p;
+        until ticks (fun () -> Mgmt.Faults.set_drop faults 0.0)
+    | Schedule.Mgmt_duplicate { p; ticks } ->
+        Mgmt.Faults.set_duplicate faults p;
+        until ticks (fun () -> Mgmt.Faults.set_duplicate faults 0.0)
+    | Schedule.Mgmt_jitter { ms; ticks } ->
+        Mgmt.Faults.set_jitter faults (ms_ns ms);
+        until ticks (fun () -> Mgmt.Faults.set_jitter faults 0L)
+    | Schedule.Mgmt_partition { dev; ticks } ->
+        Mgmt.Faults.partition faults dev;
+        until ticks (fun () -> Mgmt.Faults.heal faults dev)
+    | Schedule.Agent_crash { dev; ticks } ->
+        Device.crash (device dev);
+        Mgmt.Faults.crash faults dev;
+        until ticks (fun () ->
+            Device.restart (device dev);
+            Mgmt.Faults.restart faults dev;
+            (* the agent says Hello again; the NM flushes owed deletions
+               and re-applies active script slices *)
+            Agent.announce (List.assoc dev d.Scenarios.dagents) net;
+            Nm.run !nm)
+    | Schedule.Nm_crash ->
+        incr nm_crashes;
+        (* bank the dead incarnation's accounting before replacing it *)
+        List.iter
+          (fun (i : Intent.t) ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt carried i.Intent.id) in
+            Hashtbl.replace carried i.Intent.id (prev + i.Intent.repairs))
+          (Nm.intents !nm);
+        dead_monitor_repairs := !dead_monitor_repairs + Monitor.repairs !mon;
+        trace := !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon);
+        let journal = Intent.journal_of_string (Intent.journal_to_string (Nm.journal !nm)) in
+        let nm' =
+          Nm.create ~transport:d.Scenarios.dtransport ~journal ~chan:d.Scenarios.dchan ~net
+            ~my_id:Scenarios.nm_station_id ()
+        in
+        (* re-adopt and re-converge inside a bounded horizon so recovery
+           does not fast-forward through faults scheduled for later ticks *)
+        let deadline =
+          Int64.add (Event_queue.now eq) config.monitor.Monitor.interval_ns
+        in
+        Nm.set_horizon nm' (Some deadline);
+        Scenarios.diamond_adopt d nm';
+        Nm.recover nm';
+        Nm.set_horizon nm' None;
+        nm := nm';
+        mon :=
+          Monitor.create ~config:config.monitor ~telemetry:(Telemetry.create ~scope nm') nm'
+  in
+  (* --- chaos phase ----------------------------------------------------- *)
+  for tick = 0 to sched.Schedule.ticks - 1 do
+    fire_reverts tick;
+    List.iter (fun e -> if e.Schedule.at = tick then apply tick e) sched.Schedule.events;
+    Monitor.tick !mon
+  done;
+  (* --- force quiescence ------------------------------------------------ *)
+  fire_reverts max_int;
+  Mgmt.Faults.clear faults;
+  List.iter (fun n -> Link.clear_faults (seg n)) Schedule.core_segments;
+  (* --- quiescence tail -------------------------------------------------- *)
+  let live () =
+    List.filter (fun (i : Intent.t) -> i.Intent.status <> Intent.Retired) (Nm.intents !nm)
+  in
+  let healthy () =
+    let l = live () in
+    l <> []
+    && List.for_all (fun (i : Intent.t) -> i.Intent.status = Intent.Active) l
+    && Scenarios.diamond_reachable d
+  in
+  let converged = ref None in
+  let tail_tick = ref 0 in
+  while !converged = None && !tail_tick < sched.Schedule.tail do
+    incr tail_tick;
+    Monitor.tick !mon;
+    if healthy () then converged := Some !tail_tick
+  done;
+  (* --- verdicts --------------------------------------------------------- *)
+  let intent_repairs (i : Intent.t) =
+    i.Intent.repairs + Option.value ~default:0 (Hashtbl.find_opt carried i.Intent.id)
+  in
+  let total_repairs = !dead_monitor_repairs + Monitor.repairs !mon in
+  let v_convergence =
+    match !converged with
+    | Some t ->
+        {
+          name = "convergence";
+          ok = true;
+          detail = Printf.sprintf "all intents healthy %d tick(s) into the tail" t;
+        }
+    | None ->
+        let states =
+          live ()
+          |> List.map (fun (i : Intent.t) ->
+                 Printf.sprintf "intent-%d=%s" i.Intent.id
+                   (Intent.status_to_string i.Intent.status))
+          |> String.concat " "
+        in
+        {
+          name = "convergence";
+          ok = false;
+          detail =
+            Printf.sprintf "not converged after %d tail ticks (%s; reachable=%b)"
+              sched.Schedule.tail states
+              (Scenarios.diamond_reachable d);
+        }
+  in
+  let v_oscillation =
+    let bound =
+      match config.oscillation_bound with
+      | Some b -> b
+      | None -> (2 * List.length sched.Schedule.events) + 4
+    in
+    let worst =
+      List.fold_left (fun acc i -> max acc (intent_repairs i)) 0 (Nm.intents !nm)
+    in
+    {
+      name = "oscillation";
+      ok = worst <= bound;
+      detail = Printf.sprintf "max %d reroute(s) per intent (bound %d)" worst bound;
+    }
+  in
+  let v_conservation =
+    let acct_ok =
+      List.for_all
+        (fun n ->
+          let sg = seg n in
+          Link.dropped sg
+          = Link.drop_count sg "cut" + Link.drop_count sg "mtu" + Link.drop_count sg "loss"
+            + Link.drop_count sg "corrupt")
+        Schedule.core_segments
+    in
+    let path =
+      List.find_map
+        (fun (i : Intent.t) ->
+          match (i.Intent.status, i.Intent.script) with
+          | Intent.Active, Some s when s.Script_gen.path.Path_finder.visits <> [] ->
+              Some s.Script_gen.path
+          | _ -> None)
+        (Nm.intents !nm)
+    in
+    match path with
+    | Some p when !converged <> None ->
+        (* a fresh store primed with healthy probe rounds must give the
+           converged path a clean bill — leftover counter imbalances would
+           mean the Diagnose model's conservation laws are violated *)
+        let tel = Telemetry.create ~scope !nm in
+        for _ = 1 to 4 do
+          ignore (Nm.probe_end_to_end !nm p);
+          Telemetry.scrape tel
+        done;
+        let diag = Telemetry.diagnose_path tel p in
+        {
+          name = "conservation";
+          ok = acct_ok && diag = [];
+          detail =
+            (if diag = [] then
+               Printf.sprintf "drop accounting balanced, localizer clean (%s)"
+                 (if acct_ok then "ok" else "IMBALANCED")
+             else
+               Fmt.str "localizer still suspicious: %a" Diagnose.pp_diagnosis (List.hd diag));
+        }
+    | _ ->
+        {
+          name = "conservation";
+          ok = acct_ok;
+          detail = "drop accounting balanced (localizer skipped: no converged path)";
+        }
+  in
+  (* capture before teardown: teardown appends Retire entries *)
+  let journal_str = Intent.journal_to_string (Nm.journal !nm) in
+  let v_journal =
+    let reference =
+      let d2 = Scenarios.build_diamond () in
+      match Nm.achieve d2.Scenarios.dnm d2.Scenarios.dgoal with
+      | Ok _ -> Some (scope_keys d2.Scenarios.dnm d2.Scenarios.dscope)
+      | Error _ -> None
+    in
+    let recovered =
+      let d3 = Scenarios.build_diamond () in
+      let nm3 =
+        Nm.create ~transport:d3.Scenarios.dtransport
+          ~journal:(Intent.journal_of_string journal_str)
+          ~chan:d3.Scenarios.dchan ~net:d3.Scenarios.dtb.Testbeds.dia_net
+          ~my_id:Scenarios.nm_station_id ()
+      in
+      Scenarios.diamond_adopt d3 nm3;
+      Nm.recover nm3;
+      scope_keys nm3 d3.Scenarios.dscope
+    in
+    match reference with
+    | None -> { name = "journal-equivalence"; ok = false; detail = "reference achieve failed" }
+    | Some ref_keys ->
+        let diff =
+          List.concat_map
+            (fun (dev, ks) ->
+              let rs = try List.assoc dev recovered with Not_found -> [] in
+              List.filter (fun k -> not (List.mem k rs)) ks
+              @ List.filter (fun k -> not (List.mem k ks)) rs)
+            ref_keys
+        in
+        {
+          name = "journal-equivalence";
+          ok = diff = [];
+          detail =
+            (if diff = [] then "recovered NM reaches the reference fixpoint"
+             else Printf.sprintf "%d structural key(s) differ (e.g. %s)" (List.length diff)
+                 (List.hd diff));
+        }
+  in
+  let v_stale =
+    List.iter
+      (fun (i : Intent.t) ->
+        match i.Intent.script with
+        | Some s when i.Intent.status <> Intent.Retired -> Nm.teardown !nm s
+        | _ -> ())
+      (Nm.intents !nm);
+    let after = scope_keys !nm scope in
+    let leaked =
+      List.concat_map
+        (fun (dev, ks) ->
+          let base = try List.assoc dev baseline with Not_found -> [] in
+          List.filter (fun k -> not (List.mem k base)) ks)
+        after
+    in
+    let missing =
+      List.concat_map
+        (fun (dev, base) ->
+          let ks = try List.assoc dev after with Not_found -> [] in
+          List.filter (fun k -> not (List.mem k ks)) base)
+        baseline
+    in
+    {
+      name = "stale-state";
+      ok = leaked = [] && missing = [];
+      detail =
+        (if leaked = [] && missing = [] then "teardown reclaimed all datapath state"
+         else
+           let sample ks =
+             let shown = List.filteri (fun i _ -> i < 8) ks in
+             String.concat ", " shown ^ if List.length ks > 8 then ", ..." else ""
+           in
+           Printf.sprintf "%d leaked, %d missing key(s)%s%s" (List.length leaked)
+             (List.length missing)
+             (if leaked = [] then "" else " leaked: " ^ sample leaked)
+             (if missing = [] then "" else " missing: " ^ sample missing));
+    }
+  in
+  let trace = !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon) in
+  {
+    verdicts = [ v_convergence; v_oscillation; v_conservation; v_journal; v_stale ];
+    converged_tick = !converged;
+    total_repairs;
+    nm_crashes = !nm_crashes;
+    mgmt_counters = render_counters faults;
+    trace;
+  }

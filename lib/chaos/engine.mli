@@ -1,0 +1,35 @@
+(** The chaos engine: runs a {!Schedule.t} against a live diamond
+    deployment, forcing quiescence after the chaos phase, and checks the
+    global invariants (convergence, bounded oscillation, counter
+    conservation, journal-replay equivalence, no stale datapath state).
+    Fully deterministic: same schedule, same report. *)
+
+type config = {
+  monitor : Conman.Monitor.config;
+  oscillation_bound : int option;
+      (** max successful reroutes per intent; [None] derives a bound from
+          the schedule size, [Some 0] is the deliberately weakened
+          invariant used to demonstrate the shrinker *)
+}
+
+val default_config : config
+
+type verdict = { name : string; ok : bool; detail : string }
+
+type report = {
+  verdicts : verdict list;
+  converged_tick : int option;
+      (** tail tick at which every intent was healthy, if any *)
+  total_repairs : int;  (** successful reroutes across NM incarnations *)
+  nm_crashes : int;
+  mgmt_counters : string;  (** rendered management fault counters *)
+  trace : string list;  (** monitor event log, across NM incarnations *)
+}
+
+val run : ?config:config -> Schedule.t -> report
+
+val failures : report -> verdict list
+(** The verdicts that did not hold. *)
+
+val pp_verdict : verdict Fmt.t
+val pp_report : report Fmt.t

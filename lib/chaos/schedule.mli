@@ -1,0 +1,53 @@
+(** Seeded composite fault schedules over the diamond testbed.
+
+    A schedule is generated from a single splitmix64 seed (the
+    {!Mgmt.Faults.Prng} family) and composes every fault injector in the
+    stack: link cut/loss/corrupt/flap, management-channel
+    drop/duplicate/jitter/partition, agent device crash+restart with
+    volatile-state loss, and NM crash + journal recovery. All durations are
+    capped so injected faults end before the quiescence tail, making
+    convergence decidable. Schedules serialise to sexp for exact replay. *)
+
+type fault =
+  | Link_cut of { seg : string; ticks : int }
+  | Link_loss of { seg : string; p : float; ticks : int }
+  | Link_corrupt of { seg : string; p : float; ticks : int }
+  | Link_flap of { seg : string; cycles : int; down_ms : int; up_ms : int }
+  | Mgmt_drop of { p : float; ticks : int }
+  | Mgmt_duplicate of { p : float; ticks : int }
+  | Mgmt_jitter of { ms : int; ticks : int }
+  | Mgmt_partition of { dev : string; ticks : int }
+  | Agent_crash of { dev : string; ticks : int }
+  | Nm_crash
+
+type event = { at : int  (** monitor tick the fault strikes at *); fault : fault }
+
+type t = {
+  seed : int;
+  ticks : int;  (** chaos phase length, in monitor ticks *)
+  tail : int;  (** quiescence tail: clean ticks granted for re-convergence *)
+  events : event list;  (** sorted by [at] *)
+}
+
+val core_segments : string list
+(** The diamond's core segments ([A--B1] ...), the generator's link targets. *)
+
+val transit_devices : string list
+val managed_devices : string list
+
+val generate : ?intensity:float -> seed:int -> ticks:int -> unit -> t
+(** [generate ~seed ~ticks ()] derives a schedule deterministically from
+    [seed]. [intensity] is events per tick (default 0.5). At most one
+    [Nm_crash] per schedule. *)
+
+(** {1 Rendering and codec} *)
+
+val pp_fault : fault Fmt.t
+val pp_event : event Fmt.t
+val pp : t Fmt.t
+val to_sexp : t -> Conman.Sexp.t
+val of_sexp : Conman.Sexp.t -> t
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises {!Conman.Sexp.Parse_error} on malformed input. *)

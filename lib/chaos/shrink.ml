@@ -1,0 +1,90 @@
+(* Failure shrinking: given a schedule whose run violates an invariant,
+   greedily minimize it while the violation reproduces. Determinism makes
+   this cheap — re-running a candidate schedule is the only oracle needed.
+
+   Two passes to a fixpoint:
+     1. drop events one at a time (keep the removal if it still fails);
+     2. weaken the survivors — halve durations, loss probabilities and
+        flap cycles — and shorten the schedule itself.
+
+   The result is the minimized repro the CLI writes next to the failure,
+   re-runnable exactly with `conman chaos --replay FILE`. *)
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let weaken_fault (f : Schedule.fault) =
+  let half n = max 1 (n / 2) in
+  match f with
+  | Schedule.Link_cut { seg; ticks } when ticks > 1 -> Some (Schedule.Link_cut { seg; ticks = half ticks })
+  | Schedule.Link_loss { seg; p; ticks } when ticks > 1 ->
+      Some (Schedule.Link_loss { seg; p; ticks = half ticks })
+  | Schedule.Link_corrupt { seg; p; ticks } when ticks > 1 ->
+      Some (Schedule.Link_corrupt { seg; p; ticks = half ticks })
+  | Schedule.Link_flap { seg; cycles; down_ms; up_ms } when cycles > 1 ->
+      Some (Schedule.Link_flap { seg; cycles = half cycles; down_ms; up_ms })
+  | Schedule.Mgmt_drop { p; ticks } when ticks > 1 ->
+      Some (Schedule.Mgmt_drop { p; ticks = half ticks })
+  | Schedule.Mgmt_duplicate { p; ticks } when ticks > 1 ->
+      Some (Schedule.Mgmt_duplicate { p; ticks = half ticks })
+  | Schedule.Mgmt_jitter { ms; ticks } when ticks > 1 ->
+      Some (Schedule.Mgmt_jitter { ms; ticks = half ticks })
+  | Schedule.Mgmt_partition { dev; ticks } when ticks > 1 ->
+      Some (Schedule.Mgmt_partition { dev; ticks = half ticks })
+  | Schedule.Agent_crash { dev; ticks } when ticks > 1 ->
+      Some (Schedule.Agent_crash { dev; ticks = half ticks })
+  | _ -> None
+
+type result = { minimized : Schedule.t; runs : int }
+
+(* [failing sched] must return true iff running [sched] still exhibits the
+   original violation. The caller decides what "the violation" means —
+   usually: the same invariant names fail. *)
+let minimize ~failing (sched : Schedule.t) =
+  let runs = ref 0 in
+  let still_fails s =
+    incr runs;
+    failing s
+  in
+  (* pass 1: greedy event drops to a fixpoint *)
+  let rec drop_pass (s : Schedule.t) =
+    let n = List.length s.Schedule.events in
+    let rec try_drop i =
+      if i >= n then None
+      else
+        let candidate = { s with Schedule.events = drop_nth i s.Schedule.events } in
+        if still_fails candidate then Some candidate else try_drop (i + 1)
+    in
+    match try_drop 0 with Some s' -> drop_pass s' | None -> s
+  in
+  let s = drop_pass sched in
+  (* pass 2: weaken surviving events, one at a time, to a fixpoint *)
+  let rec weaken_pass (s : Schedule.t) =
+    let arr = Array.of_list s.Schedule.events in
+    let rec try_weaken i =
+      if i >= Array.length arr then None
+      else
+        let e = arr.(i) in
+        match weaken_fault e.Schedule.fault with
+        | None -> try_weaken (i + 1)
+        | Some f ->
+            let events =
+              List.mapi
+                (fun j e' -> if j = i then { e' with Schedule.fault = f } else e')
+                s.Schedule.events
+            in
+            let candidate = { s with Schedule.events } in
+            if still_fails candidate then Some candidate else try_weaken (i + 1)
+    in
+    match try_weaken 0 with Some s' -> weaken_pass s' | None -> s
+  in
+  let s = weaken_pass s in
+  (* pass 3: shorten the chaos phase itself if the events fit *)
+  let last_at = List.fold_left (fun acc e -> max acc e.Schedule.at) 0 s.Schedule.events in
+  let rec shorten (s : Schedule.t) =
+    if s.Schedule.ticks <= last_at + 2 then s
+    else
+      let candidate = { s with Schedule.ticks = max (last_at + 2) (s.Schedule.ticks / 2) } in
+      if still_fails candidate then shorten candidate else s
+  in
+  let s = if s.Schedule.events = [] then s else shorten s in
+  { minimized = s; runs = !runs }

@@ -1,0 +1,12 @@
+(** Greedy schedule minimization. Given a failing schedule and a
+    deterministic oracle, drops events, weakens the survivors (halved
+    durations/cycles) and shortens the chaos phase while the violation
+    still reproduces. *)
+
+type result = { minimized : Schedule.t; runs : int  (** oracle invocations *) }
+
+val minimize : failing:(Schedule.t -> bool) -> Schedule.t -> result
+(** [failing s] must return [true] iff running [s] still exhibits the
+    original violation (typically: the same invariant names fail). The
+    input schedule is assumed failing; the result is a local minimum —
+    removing any single remaining event no longer reproduces. *)

@@ -27,6 +27,11 @@ type t = {
       (* per-device structural state keys snapshotted when last healthy —
          the baseline the monitor's drift check compares show_actual to *)
   mutable tried : string list; (* path signatures tried since last healthy *)
+  mutable journal_sig : string option;
+      (* last path signature journalled by a Bind entry. After a crash the
+         script itself is gone; this lets the recovered NM regenerate the
+         dead incarnation's script and back its datapath state out before
+         re-achieving, instead of leaking it. *)
   mutable repairs : int; (* successful re-achievements *)
   mutable repair_attempts : int; (* consecutive attempts since last healthy *)
   mutable probe_failures : int;
@@ -41,6 +46,7 @@ let make ~id spec =
     script = None;
     expected = [];
     tried = [];
+    journal_sig = None;
     repairs = 0;
     repair_attempts = 0;
     probe_failures = 0;
@@ -140,18 +146,20 @@ let spec_of_sexp s =
 
 (* --- journal ------------------------------------------------------------------- *)
 
-type entry = Begin of int * spec | Commit of int | Retire of int
+type entry = Begin of int * spec | Commit of int | Retire of int | Bind of int * string
 
 let entry_to_sexp = function
   | Begin (id, spec) -> Sexp.list [ Sexp.atom "begin"; Sexp.of_int id; spec_to_sexp spec ]
   | Commit id -> Sexp.list [ Sexp.atom "commit"; Sexp.of_int id ]
   | Retire id -> Sexp.list [ Sexp.atom "retire"; Sexp.of_int id ]
+  | Bind (id, s) -> Sexp.list [ Sexp.atom "bind"; Sexp.of_int id; Sexp.atom s ]
 
 let entry_of_sexp s =
   match Sexp.to_list s with
   | [ Sexp.Atom "begin"; id; spec ] -> Begin (Sexp.to_int id, spec_of_sexp spec)
   | [ Sexp.Atom "commit"; id ] -> Commit (Sexp.to_int id)
   | [ Sexp.Atom "retire"; id ] -> Retire (Sexp.to_int id)
+  | [ Sexp.Atom "bind"; id; sg ] -> Bind (Sexp.to_int id, Sexp.to_atom sg)
   | _ -> raise (Sexp.Parse_error "intent journal entry")
 
 type journal = {
@@ -195,7 +203,11 @@ let replay j =
       | Commit id -> (
           match Hashtbl.find_opt tbl id with Some i -> i.status <- Active | None -> ())
       | Retire id -> (
-          match Hashtbl.find_opt tbl id with Some i -> i.status <- Retired | None -> ()))
+          match Hashtbl.find_opt tbl id with Some i -> i.status <- Retired | None -> ())
+      | Bind (id, sg) -> (
+          match Hashtbl.find_opt tbl id with
+          | Some i -> i.journal_sig <- Some sg
+          | None -> ()))
     (entries j);
   List.rev !order
   |> List.filter_map (fun id ->

@@ -31,6 +31,10 @@ type t = {
           the baseline for the monitor's drift check *)
   mutable tried : string list;
       (** path signatures tried and failed since last healthy *)
+  mutable journal_sig : string option;
+      (** last path signature journalled via [Bind] — lets a recovered NM
+          regenerate the dead incarnation's script and back its datapath
+          state out before re-achieving (see {!Nm.reconfigure}) *)
   mutable repairs : int;  (** successful re-achievements *)
   mutable repair_attempts : int;  (** consecutive attempts since last healthy *)
   mutable probe_failures : int;
@@ -55,6 +59,9 @@ type entry =
   | Begin of int * spec  (** the intent exists (written before configuring) *)
   | Commit of int  (** its configuration applied successfully at least once *)
   | Retire of int  (** torn down *)
+  | Bind of int * string
+      (** bound to a script over the path with this signature — written on
+          every (re)bind so recovery can reclaim stale datapath state *)
 
 val entry_to_sexp : entry -> Sexp.t
 val entry_of_sexp : Sexp.t -> entry

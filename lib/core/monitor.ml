@@ -41,8 +41,14 @@ type t = {
   mutable repairs : int;
   mutable resyncs : int;
   mutable escalations : int;
-  mutable events : event list; (* newest first *)
+  (* Bounded drop-oldest event ring (mirrors Netsim.Trace.set_limit): long
+     chaos soaks must not grow memory without bound. *)
+  events : event Queue.t;
+  mutable event_limit : int;
+  mutable dropped_events : int;
 }
+
+let default_event_limit = 10_000
 
 let create ?(config = default_config) ?telemetry nm =
   {
@@ -53,12 +59,22 @@ let create ?(config = default_config) ?telemetry nm =
     repairs = 0;
     resyncs = 0;
     escalations = 0;
-    events = [];
+    events = Queue.create ();
+    event_limit = default_event_limit;
+    dropped_events = 0;
   }
+
+let set_event_limit t n = t.event_limit <- max 1 n
+let event_limit t = t.event_limit
+let dropped_events t = t.dropped_events
 
 let log t (intent : Intent.t) what =
   let now = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm)) in
-  t.events <- { ev_time = now; ev_intent = intent.Intent.id; ev_what = what } :: t.events
+  Queue.push { ev_time = now; ev_intent = intent.Intent.id; ev_what = what } t.events;
+  while Queue.length t.events > t.event_limit do
+    ignore (Queue.pop t.events);
+    t.dropped_events <- t.dropped_events + 1
+  done
 
 (* --- health checks ------------------------------------------------------------ *)
 
@@ -206,13 +222,27 @@ let reconcile t (intent : Intent.t) =
   match intent.Intent.status with
   | Intent.Retired -> ()
   | Intent.Failed ->
-      (* escalated: only a healthy probe of a still-bound script revives it *)
       if intent.Intent.script <> None then begin
+        (* escalated with a bound script: a healthy probe revives it *)
         let ok, _ = probe t intent in
         if ok then begin
           mark_healthy t intent;
           log t intent "recovered without intervention"
         end
+      end
+      else begin
+        (* escalated after its script was backed out (every reroute failed
+           while the network was down): retry the achieve each tick so the
+           intent self-revives once a path exists again, instead of waiting
+           for an operator *)
+        match Nm.reconfigure t.nm intent with
+        | Ok () ->
+            let ok, _ = probe t intent in
+            if ok then begin
+              mark_healthy t intent;
+              log t intent "recovered: reconfigured after escalation"
+            end
+        | Error _ -> ()
       end
   | Intent.Pending -> (
       (* journalled but never realised (NM died mid-achieve, or no path at
@@ -301,6 +331,10 @@ let tick t =
   Fun.protect
     ~finally:(fun () -> Nm.set_horizon t.nm None)
     (fun () ->
+      (* re-issue requests the reliable transport abandoned (give-up during
+         a drop burst or partition) — without this, a lost back-out deletion
+         is never re-sent and stale state leaks on the device *)
+      Nm.flush_inflight t.nm;
       (* keep the telemetry store's baselines warm so a post-failure
          scrape yields a clean delta *)
       Option.iter Telemetry.maybe_scrape t.telemetry;
@@ -317,7 +351,7 @@ let ticks t = t.ticks
 let repairs t = t.repairs
 let resyncs t = t.resyncs
 let escalations t = t.escalations
-let events t = List.rev t.events
+let events t = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.events)
 
 let pp_event ppf e =
   Fmt.pf ppf "[%8.3fs] intent-%d %s"

@@ -52,7 +52,17 @@ val resyncs : t -> int
 
 val escalations : t -> int
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first. The log is a bounded drop-oldest ring (default 10_000
+    events) so long soaks can't grow memory without bound. *)
+
+val set_event_limit : t -> int -> unit
+(** Caps the event log; clamps to at least 1. Oldest events are dropped
+    (and counted) once the cap is exceeded. *)
+
+val event_limit : t -> int
+
+val dropped_events : t -> int
+(** Events evicted from the ring since creation. *)
 
 val pp_event : event Fmt.t
 val pp_health : t Fmt.t

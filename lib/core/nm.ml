@@ -36,6 +36,10 @@ type t = {
   journal : Intent.journal; (* write-ahead journal of desired state *)
   mutable intents : Intent.t list; (* in id order *)
   mutable next_intent : int;
+  pending_deletes : (string, Primitive.t list) Hashtbl.t;
+      (* deletion primitives owed to devices that were unreachable when a
+         script was backed out — flushed when the device says Hello again,
+         so back-out does not leak datapath state onto dead devices *)
   mutable horizon : int64 option;
       (* when set, [run] stops at this virtual time instead of draining the
          queue — lets the monitor interleave with scheduled faults *)
@@ -72,20 +76,22 @@ let send_script ?(batched = true) t (script : Script_gen.script) =
 
 (* Ships only the slices of [script]'s deletion script that target devices
    the NM can still talk to — used to back out a partially-applied script
-   when a device died mid-execution. *)
+   when a device died mid-execution. Slices owed to unreachable devices are
+   parked in [pending_deletes] and flushed when the device comes back. *)
 let send_deletion_reachable t (script : Script_gen.script) =
   let del = Script_gen.deletion_script script in
-  let per_device =
-    List.filter (fun (dev, _) -> Topology.is_reachable t.topo dev) del.Script_gen.per_device
-  in
   List.iter
     (fun (dev, prims) ->
-      if prims <> [] then begin
-        t.req <- t.req + 1;
-        send_req t ~dst:dev ~req:t.req
-          (Wire.Bundle { req = t.req; cmds = prims; annex = annex_of t None })
-      end)
-    per_device
+      if prims <> [] then
+        if Topology.is_reachable t.topo dev then begin
+          t.req <- t.req + 1;
+          send_req t ~dst:dev ~req:t.req
+            (Wire.Bundle { req = t.req; cmds = prims; annex = annex_of t None })
+        end
+        else
+          let owed = Option.value ~default:[] (Hashtbl.find_opt t.pending_deletes dev) in
+          Hashtbl.replace t.pending_deletes dev (owed @ prims))
+    del.Script_gen.per_device
 
 let fresh_req t =
   t.req <- t.req + 1;
@@ -96,17 +102,50 @@ let fresh_req t =
 let req_stride = 1 lsl 20
 let incarnations = ref 0
 
+(* Pins the boot counter — harnesses that need cross-process reproducible
+   request ids (the chaos engine) reset it before building a fresh world.
+   Never call this while agents from an earlier NM generation share a
+   channel with a new one: reused ids would be answered from reply caches. *)
+let set_incarnations n = incarnations := n
+
+(* Deletions owed from back-outs that could not reach the device: deliver
+   them the moment it proves live again. *)
+let settle_debts t src =
+  match Hashtbl.find_opt t.pending_deletes src with
+  | Some prims when prims <> [] ->
+      Hashtbl.remove t.pending_deletes src;
+      t.req <- t.req + 1;
+      send_req t ~dst:src ~req:t.req
+        (Wire.Bundle { req = t.req; cmds = prims; annex = annex_of t None })
+  | _ -> Hashtbl.remove t.pending_deletes src
+
 let rec handle t ~src payload =
   match Wire.decode payload with
   | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
-  (* Success acks confirm in-flight requests but stay out of the Table-VI
-     message accounting (they are our addition, not the paper's). *)
-  | Wire.Bundle_ack { req } | Wire.Ack { req } ->
-      t.stats.acks <- t.stats.acks + 1;
-      confirm t req
   | msg -> (
-      t.stats.received <- t.stats.received + 1;
+      (* Any message from a known device is proof of liveness: if the
+         transport had given up on it (marking it unreachable) but the
+         device never actually crashed, no Hello will ever arrive — so
+         restore reachability here and settle parked deletion debts.
+         Hellos are excluded: the Hello arm below does the full rebooted-
+         device recovery (re-showPotential + script re-sync). *)
+      (match msg with
+      | Wire.Hello _ -> ()
+      | _ ->
+          if Topology.device t.topo src <> None && not (Topology.is_reachable t.topo src)
+          then begin
+            Topology.set_reachable t.topo src true;
+            settle_debts t src
+          end);
+      (* Success acks stay out of the Table-VI message accounting (they
+         are our addition, not the paper's). *)
+      (match msg with
+      | Wire.Bundle_ack _ | Wire.Ack _ -> ()
+      | _ -> t.stats.received <- t.stats.received + 1);
       match msg with
+      | Wire.Bundle_ack { req } | Wire.Ack { req } ->
+          t.stats.acks <- t.stats.acks + 1;
+          confirm t req
       | Wire.Hello { ports } ->
           let recovered =
             Topology.device t.topo src <> None && not (Topology.is_reachable t.topo src)
@@ -118,6 +157,10 @@ let rec handle t ~src payload =
                slices of every active script that configure it. *)
             Topology.set_reachable t.topo src true;
             send t ~dst:src (Wire.Show_potential_req { req = fresh_req t });
+            (* settle debts first: deletions owed from back-outs that could
+               not reach the device must precede re-applied scripts, since
+               pipe ids can collide across scripts *)
+            settle_debts t src;
             List.iter
               (fun (script : Script_gen.script) ->
                 List.iter
@@ -159,8 +202,7 @@ let rec handle t ~src payload =
              scripts, whose execution is idempotent. *)
           if t.auto_repair then List.iter (send_script t) t.active_scripts
       | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Show_perf_req _ | Wire.Bundle _
-      | Wire.Self_test_req _ | Wire.Nm_takeover _ | Wire.Set_address _ | Wire.Bundle_ack _
-      | Wire.Ack _ ->
+      | Wire.Self_test_req _ | Wire.Nm_takeover _ | Wire.Set_address _ ->
         ())
 
 and create ?transport ?journal ~chan ~net ~my_id () =
@@ -194,6 +236,7 @@ and create ?transport ?journal ~chan ~net ~my_id () =
       journal;
       intents = Intent.replay journal;
       next_intent = Intent.next_id journal;
+      pending_deletes = Hashtbl.create 8;
       horizon = None;
     }
   in
@@ -249,6 +292,19 @@ let commit_intent t (i : Intent.t) =
 let bind_intent t (i : Intent.t) script =
   i.Intent.script <- Some script;
   i.Intent.expected <- [];
+  (* Journal which path the intent is bound to, so an NM that crashes and
+     restarts can regenerate this incarnation's script (the generator is
+     deterministic per goal+path) and back its state out before achieving
+     over a possibly different path. Only paths have signatures; layer-2
+     scripts carry an empty path and are resynced in place instead. *)
+  (match script.Script_gen.path.Path_finder.visits with
+  | [] -> ()
+  | _ ->
+      let sg = Path_finder.signature script.Script_gen.path in
+      if i.Intent.journal_sig <> Some sg then begin
+        Intent.append t.journal (Intent.Bind (i.Intent.id, sg));
+        i.Intent.journal_sig <- Some sg
+      end);
   commit_intent t i
 
 let retire_intent t (i : Intent.t) =
@@ -298,9 +354,38 @@ let devices_of_path (path : Path_finder.path) =
       if List.mem d acc then acc else d :: acc)
     [] path.Path_finder.visits
 
+(* Unconfirmed creates of a script being dismantled must never be
+   re-issued by a later [flush_inflight]: a create that was lost in flight
+   and re-sent after the back-out's deletion would resurrect state the NM
+   no longer wants. The deletion itself still goes out — if the create did
+   execute and only its ack was lost, the delete reclaims the state; if it
+   never executed, the delete is an idempotent no-op. *)
+let cancel_unconfirmed t (script : Script_gen.script) =
+  let belongs (_, dst, msg) =
+    match msg with
+    | Wire.Bundle { cmds; _ } ->
+        List.exists
+          (fun (dev, prims) -> dev = dst && prims <> [] && cmds = prims)
+          script.Script_gen.per_device
+    | _ -> false
+  in
+  let victims, keep = List.partition belongs t.inflight in
+  t.inflight <- keep;
+  (* also recall the transport's own retransmissions of those sends: a
+     retry surviving in the timer wheel would otherwise deliver the create
+     after the back-out's deletion *)
+  Option.iter
+    (fun tr ->
+      List.iter
+        (fun (_, dst, msg) ->
+          ignore (Mgmt.Reliable.cancel tr ~src:t.my_id ~dst (Wire.encode msg)))
+        victims)
+    t.transport
+
 (* Backs a partially-applied script out of the devices that still answer,
    and forgets it. *)
 let abort_script t (script : Script_gen.script) =
+  cancel_unconfirmed t script;
   send_deletion_reachable t script;
   t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
   run t
@@ -456,6 +541,7 @@ let remove_rate t ~owner ~pipe_id =
    device-level state) and pipes, and stops maintaining it. The intent it
    realised (if any) is retired in the journal. *)
 let teardown t (script : Script_gen.script) =
+  cancel_unconfirmed t script;
   let del = Script_gen.deletion_script script in
   send_script t del;
   t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
@@ -711,9 +797,30 @@ let reconfigure ?(exclude = []) ?(avoid = []) t (intent : Intent.t) =
         abort_script t old
     | None -> ()
   in
+  (* No live script but a journalled Bind: a previous NM incarnation (or a
+     failed reconfigure) left datapath state behind over the signed path.
+     Regenerate that script — the generator is deterministic for a given
+     goal+path — and back it out before achieving, so a recovery onto a
+     different path cannot leak labels/xconnects/pipes. *)
+  let back_out_ghost goal =
+    match intent.Intent.journal_sig with
+    | None -> ()
+    | Some sg -> (
+        match
+          List.find_opt
+            (fun p -> Path_finder.signature p = sg)
+            (find_paths t goal)
+        with
+        | Some path ->
+            send_deletion_reachable t (Script_gen.generate t.topo goal path);
+            run t
+        | None -> ())
+  in
   match intent.Intent.spec with
   | Intent.Connect goal -> (
-      back_out ();
+      (match intent.Intent.script with
+      | Some _ -> back_out ()
+      | None -> back_out_ghost goal);
       match achieve_raw ~configure:true ~exclude ~avoid t goal with
       | Ok (_, _, script) ->
           bind_intent t intent script;
@@ -748,6 +855,21 @@ let recover t =
     (fun (i : Intent.t) ->
       if i.Intent.status <> Intent.Retired then ignore (reconfigure t i))
     t.intents
+
+(* Re-issues every state-changing request sent but never confirmed — the
+   backstop for requests the reliable transport abandoned (give-up during a
+   partition or long loss burst). Agents cache one reply per (nm, req), so
+   a re-send of an already-executed request is answered from the cache
+   rather than executed twice; a re-send of a lost one finally lands. The
+   monitor calls this each tick, which in particular guarantees back-out
+   deletions are eventually delivered instead of leaking datapath state. *)
+let flush_inflight t =
+  match t.inflight with
+  | [] -> ()
+  | pending ->
+      t.inflight <- [];
+      List.iter (fun (req, dst, msg) -> send_req t ~dst ~req msg) (List.rev pending);
+      run t
 
 (* Re-sends an intent's script as-is — the repair for configuration drift
    (device state lost a piece the script should have pinned). *)

@@ -137,6 +137,18 @@ val reconfigure : ?exclude:string list -> ?avoid:string list -> t -> Intent.t ->
 val resync_intent : t -> Intent.t -> unit
 (** Re-sends the intent's script as-is (idempotent) — the drift repair. *)
 
+val flush_inflight : t -> unit
+(** Re-issues every state-changing request that was sent but never
+    confirmed — the backstop for requests the reliable transport gave up
+    on. Agents answer repeated request ids from their reply cache, so
+    re-sends are idempotent; the monitor calls this every tick. *)
+
+val set_incarnations : int -> unit
+(** Pins the per-process NM boot counter that strides the request-id
+    space. Only for harnesses needing cross-process reproducibility (the
+    chaos engine); never call it while agents from an earlier NM share a
+    channel with a new one. *)
+
 val escalate : t -> Intent.t -> string -> unit
 (** Marks the intent [Failed] and records the failure in {!errors}. *)
 

@@ -13,6 +13,30 @@
 
 open Netsim
 
+(* The splitmix64 stream every fault injector draws from. Exposed so other
+   seeded components (the chaos schedule generator) share one PRNG family
+   and stay deterministic under a single root seed. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next_u64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform float in [0, 1) from the top 53 bits *)
+  let uniform t =
+    Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) /. 9007199254740992.0
+
+  let below t n =
+    if n <= 0 then invalid_arg "Faults.Prng.below";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1) (Int64.of_int n))
+end
+
 type counters = {
   mutable dropped : int; (* lost to the random loss model *)
   mutable duplicated : int;
@@ -23,7 +47,7 @@ type counters = {
 
 type t = {
   eq : Event_queue.t;
-  mutable state : int64; (* splitmix64 state *)
+  prng : Prng.t;
   mutable default_drop : float;
   link_drop : (string * string, float) Hashtbl.t; (* directed (src, dst) *)
   mutable dup_prob : float;
@@ -33,18 +57,8 @@ type t = {
   counters : counters;
 }
 
-(* --- deterministic PRNG (splitmix64) ---------------------------------- *)
-
-let next_u64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-(* uniform float in [0, 1) from the top 53 bits *)
-let uniform t =
-  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) /. 9007199254740992.0
+let next_u64 t = Prng.next_u64 t.prng
+let uniform t = Prng.uniform t.prng
 
 (* --- knobs ------------------------------------------------------------- *)
 
@@ -62,6 +76,14 @@ let is_crashed t id = Hashtbl.mem t.crashed id
 let partition t id = Hashtbl.replace t.partitioned id ()
 let heal t id = Hashtbl.remove t.partitioned id
 let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.dropped <- 0;
+  c.duplicated <- 0;
+  c.delayed <- 0;
+  c.crash_drops <- 0;
+  c.partition_drops <- 0
 
 let clear t =
   t.default_drop <- 0.;
@@ -82,7 +104,7 @@ let wrap ?(seed = 0) ~eq inner =
   let t =
     {
       eq;
-      state = Int64.of_int seed;
+      prng = Prng.create seed;
       default_drop = 0.;
       link_drop = Hashtbl.create 8;
       dup_prob = 0.;

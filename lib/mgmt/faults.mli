@@ -7,6 +7,23 @@
     deterministic {!Netsim.Event_queue}) reproduces the exact same faults
     on every run. *)
 
+(** The splitmix64 stream the fault model draws from, exposed so other
+    seeded components (e.g. the chaos schedule generator in [lib/chaos])
+    derive all their randomness from the same PRNG family. *)
+module Prng : sig
+  type t
+
+  val create : int -> t
+  val next_u64 : t -> int64
+
+  val uniform : t -> float
+  (** Uniform float in [\[0, 1)]. *)
+
+  val below : t -> int -> int
+  (** [below t n] is a uniform int in [\[0, n)]. Raises [Invalid_argument]
+      if [n <= 0]. *)
+end
+
 type counters = {
   mutable dropped : int;  (** frames lost to the random loss model *)
   mutable duplicated : int;  (** frames shipped twice *)
@@ -61,3 +78,8 @@ val clear : t -> unit
     to the fault-free default. Counters are preserved. *)
 
 val counters : t -> counters
+
+val reset_counters : t -> unit
+(** Zeroes every counter. [clear] deliberately preserves counters so a
+    post-mortem can still read them; chaos episodes call this between
+    runs to measure each episode independently. *)

@@ -11,9 +11,20 @@
    duplication) are suppressed at the receiver with a per-source sliding
    window and re-acked, making retried requests idempotent at this layer.
 
+   Delivery is additionally in-order per (sender, receiver): a frame that
+   arrives ahead of a predecessor (channel jitter, a retransmitted
+   predecessor) is held back until the gap fills. Without this, a back-out
+   deletion and its successor script's create can swap on the wire and the
+   late delete clobbers the new state. Holes cannot block forever: after
+   [gap_timeout_ns] of no progress the receiver skips the hole and drains
+   what it holds (in seq order); a skipped frame that shows up later is
+   still delivered, late, so at-least-once survives.
+
    Envelope wire format: 1-byte tag, 4-byte big-endian sequence number,
    payload. Tags: 'D' data (ack required), 'A' ack (seq echoes the data
-   frame), 'U' unreliable (broadcasts — there is no single acker). *)
+   frame), 'U' unreliable (broadcasts — there is no single acker). A 'D'
+   frame with an empty payload is a voided send (see [cancel]): it is
+   acked and sequenced but not handed to the handler. *)
 
 open Netsim
 
@@ -21,9 +32,11 @@ type config = {
   timeout_ns : int64;  (* first retransmission timeout *)
   backoff : float;  (* multiplier applied per retry *)
   max_retries : int;
+  gap_timeout_ns : int64;  (* how long a seq hole may stall in-order delivery *)
 }
 
-let default_config = { timeout_ns = 1_000_000L; backoff = 2.0; max_retries = 12 }
+let default_config =
+  { timeout_ns = 1_000_000L; backoff = 2.0; max_retries = 12; gap_timeout_ns = 50_000_000L }
 
 type counters = {
   mutable data_sent : int;
@@ -33,18 +46,27 @@ type counters = {
   mutable duplicates : int;  (* data frames suppressed at the receiver *)
   mutable gave_up : int;
   mutable broadcasts : int;
+  mutable held_back : int;  (* frames buffered awaiting a predecessor *)
+  mutable gap_skips : int;  (* seq holes skipped after [gap_timeout_ns] *)
 }
 
 type pending = {
   p_dst : string;
-  p_bytes : bytes;  (* full envelope, ready to retransmit *)
+  mutable p_bytes : bytes;  (* full envelope, ready to retransmit *)
   mutable p_retries : int;
 }
 
-(* Receiver-side duplicate suppression: per-source sliding seq window. *)
-type swin = { mutable hi : int; recent : (int, unit) Hashtbl.t }
-
-let dedup_window = 512
+(* Receiver-side ordering + duplicate suppression, per (receiver, sender).
+   [next] is the next seq due for delivery; anything below it already went
+   up (or was skipped — those seqs sit in [skipped] so a late arrival is
+   still delivered rather than mistaken for a duplicate). [held] buffers
+   arrivals ahead of a hole. *)
+type order = {
+  mutable next : int;
+  held : (int, bytes) Hashtbl.t;
+  skipped : (int, unit) Hashtbl.t;
+  mutable flush_armed : bool;
+}
 
 type t = {
   inner : Channel.t;
@@ -53,7 +75,7 @@ type t = {
   counters : counters;
   next_seq : (string * string, int) Hashtbl.t;  (* (src, dst) -> last seq *)
   pending : (string * string * int, pending) Hashtbl.t;  (* (src, dst, seq) *)
-  seen : (string * string, swin) Hashtbl.t;  (* (receiver, sender) *)
+  order : (string * string, order) Hashtbl.t;  (* (receiver, sender) *)
   mutable give_up_listeners : (src:string -> dst:string -> unit) list;
 }
 
@@ -78,29 +100,54 @@ let decode b =
     let payload = Bytes.sub b 5 (Bytes.length b - 5) in
     Some (Bytes.get b 0, seq, payload)
 
-(* --- duplicate suppression -------------------------------------------- *)
+(* --- in-order delivery + duplicate suppression ------------------------- *)
 
-let seen_before t ~receiver ~sender seq =
+let order_win t ~receiver ~sender =
   let key = (receiver, sender) in
-  let win =
-    match Hashtbl.find_opt t.seen key with
-    | Some w -> w
-    | None ->
-        let w = { hi = 0; recent = Hashtbl.create 16 } in
-        Hashtbl.add t.seen key w;
-        w
-  in
-  if seq <= win.hi - dedup_window then true
-  else if Hashtbl.mem win.recent seq then true
-  else begin
-    Hashtbl.replace win.recent seq ();
-    if seq > win.hi then begin
-      for s = win.hi - dedup_window + 1 to seq - dedup_window do
-        Hashtbl.remove win.recent s
-      done;
-      win.hi <- seq
-    end;
-    false
+  match Hashtbl.find_opt t.order key with
+  | Some w -> w
+  | None ->
+      let w =
+        { next = 1; held = Hashtbl.create 8; skipped = Hashtbl.create 4; flush_armed = false }
+      in
+      Hashtbl.add t.order key w;
+      w
+
+(* Voided sends (see [cancel]) travel as empty payloads: they keep the seq
+   stream gapless but carry nothing for the layer above. *)
+let deliver h ~src payload = if Bytes.length payload > 0 then h ~src payload
+
+let rec drain w ~src h =
+  match Hashtbl.find_opt w.held w.next with
+  | Some payload ->
+      Hashtbl.remove w.held w.next;
+      w.next <- w.next + 1;
+      deliver h ~src payload;
+      drain w ~src h
+  | None -> ()
+
+(* A hole ahead of buffered frames must not stall delivery forever — the
+   missing frame may have been abandoned by its sender. After
+   [gap_timeout_ns] of no progress, skip to the lowest held seq (recording
+   the skipped seqs so stragglers are still delivered) and drain. *)
+let rec arm_flush t w ~src h =
+  if not w.flush_armed then begin
+    w.flush_armed <- true;
+    let expected = w.next in
+    Event_queue.schedule t.eq ~delay_ns:t.config.gap_timeout_ns (fun () ->
+        w.flush_armed <- false;
+        if Hashtbl.length w.held > 0 then begin
+          if w.next = expected then begin
+            let lowest = Hashtbl.fold (fun s _ acc -> min s acc) w.held max_int in
+            for s = w.next to lowest - 1 do
+              Hashtbl.replace w.skipped s ()
+            done;
+            w.next <- lowest;
+            t.counters.gap_skips <- t.counters.gap_skips + 1;
+            drain w ~src h
+          end;
+          if Hashtbl.length w.held > 0 then arm_flush t w ~src h
+        end)
   end
 
 (* --- sender side ------------------------------------------------------- *)
@@ -158,9 +205,21 @@ let subscribe t id (h : Channel.handler) =
           (* Always (re-)ack: the previous ack may have been lost. *)
           t.counters.acks_sent <- t.counters.acks_sent + 1;
           Channel.send t.inner ~src:id ~dst:src (encode 'A' seq Bytes.empty);
-          if seen_before t ~receiver:id ~sender:src seq then
+          let w = order_win t ~receiver:id ~sender:src in
+          if Hashtbl.mem w.skipped seq then begin
+            (* A straggler we already skipped past: deliver it late rather
+               than break at-least-once. Order was forfeited at the skip. *)
+            Hashtbl.remove w.skipped seq;
+            deliver h ~src payload
+          end
+          else if seq < w.next || Hashtbl.mem w.held seq then
             t.counters.duplicates <- t.counters.duplicates + 1
-          else h ~src payload
+          else begin
+            if seq <> w.next then t.counters.held_back <- t.counters.held_back + 1;
+            Hashtbl.replace w.held seq payload;
+            drain w ~src h;
+            if Hashtbl.length w.held > 0 then arm_flush t w ~src h
+          end
       | Some _ -> ())
 
 (* --- construction ------------------------------------------------------ *)
@@ -180,10 +239,12 @@ let create ?(config = default_config) ~eq inner =
           duplicates = 0;
           gave_up = 0;
           broadcasts = 0;
+          held_back = 0;
+          gap_skips = 0;
         };
       next_seq = Hashtbl.create 32;
       pending = Hashtbl.create 32;
-      seen = Hashtbl.create 32;
+      order = Hashtbl.create 32;
       give_up_listeners = [];
     }
   in
@@ -194,6 +255,30 @@ let create ?(config = default_config) ~eq inner =
       ~stats:(Channel.stats inner)
   in
   (chan, t)
+
+(* Recalls unacked unicasts: any pending frame from [src] to [dst] carrying
+   exactly [payload] is voided — its envelope keeps its seq but the payload
+   is emptied, so retransmissions continue until acked but deliver nothing.
+   The NM uses this to cancel the creates of a script it is backing out —
+   without it, a retry surviving in the timer wheel could land after the
+   back-out's deletion and resurrect the state. Voiding (rather than
+   dropping the pending entry) keeps the seq stream gapless, so in-order
+   delivery of later frames to [dst] is not stalled behind a hole.
+   Returns the number of sends recalled. *)
+let cancel t ~src ~dst payload =
+  let victims =
+    Hashtbl.fold
+      (fun (s, d, seq) (p : pending) acc ->
+        if s = src && d = dst then
+          match decode p.p_bytes with
+          | Some ('D', _, pl) when Bytes.length pl > 0 && Bytes.equal pl payload ->
+              (seq, p) :: acc
+          | _ -> acc
+        else acc)
+      t.pending []
+  in
+  List.iter (fun (seq, p) -> p.p_bytes <- encode 'D' seq Bytes.empty) victims;
+  List.length victims
 
 let on_give_up t f = t.give_up_listeners <- f :: t.give_up_listeners
 let counters t = t.counters

@@ -7,16 +7,27 @@
     notified (the NM uses this to mark a device unreachable). Retransmitted
     or {!Faults}-duplicated frames are suppressed at the receiver and
     re-acked, so the layer above sees each payload at most once per send.
+
+    Delivery is in-order per (sender, receiver): a frame arriving ahead of
+    an undelivered predecessor is held until the gap fills, so e.g. a
+    deletion and a later create to the same device cannot swap under
+    channel jitter. A hole that makes no progress for [gap_timeout_ns]
+    (a frame whose sender gave up) is skipped so delivery never deadlocks;
+    a skipped frame arriving later is still delivered, out of order.
+
     Broadcasts are passed through unreliably — there is no single acker. *)
 
 type config = {
   timeout_ns : int64;  (** first retransmission timeout (virtual time) *)
   backoff : float;  (** timeout multiplier applied per retry *)
   max_retries : int;  (** retransmissions before giving up *)
+  gap_timeout_ns : int64;
+      (** how long a sequence hole may stall in-order delivery before the
+          receiver skips past it *)
 }
 
 val default_config : config
-(** 1 ms virtual-time timeout, backoff ×2, 12 retries. *)
+(** 1 ms virtual-time timeout, backoff ×2, 12 retries, 50 ms gap timeout. *)
 
 type counters = {
   mutable data_sent : int;  (** distinct payloads sent (first copies) *)
@@ -26,6 +37,8 @@ type counters = {
   mutable duplicates : int;  (** data frames suppressed at a receiver *)
   mutable gave_up : int;  (** sends abandoned after [max_retries] *)
   mutable broadcasts : int;  (** unreliable pass-through broadcasts *)
+  mutable held_back : int;  (** frames buffered awaiting a predecessor *)
+  mutable gap_skips : int;  (** sequence holes skipped after the gap timeout *)
 }
 
 type t
@@ -39,6 +52,14 @@ val create : ?config:config -> eq:Netsim.Event_queue.t -> Channel.t -> Channel.t
     sender's subscription, so an endpoint must be subscribed (even with a
     no-op handler) for its outgoing unicasts to ever be confirmed — true
     of the NM and every agent, which subscribe at creation. *)
+
+val cancel : t -> src:string -> dst:string -> bytes -> int
+(** [cancel t ~src ~dst payload] recalls every unacked unicast from [src]
+    to [dst] carrying exactly [payload]: the pending frame is voided in
+    place (its payload emptied, its sequence number kept), so retries
+    continue but deliver nothing and later frames are not stalled behind a
+    sequence hole. Returns how many sends were recalled. A copy already in
+    flight may still be delivered. *)
 
 val on_give_up : t -> (src:string -> dst:string -> unit) -> unit
 (** Registers a listener invoked whenever a unicast from [src] to [dst] is

@@ -128,6 +128,11 @@ let flap ?(cycles = 1) segment ~first_down_ns ~down_ns ~up_ns =
     schedule_restore segment ~delay_ns:(Int64.add off down_ns)
   done
 
+let clear_faults segment =
+  restore segment;
+  segment.loss <- 0.0;
+  segment.corrupt <- 0.0
+
 let is_cut segment = segment.cut
 let id segment = segment.link_id
 let delivered segment = segment.delivered

@@ -43,6 +43,11 @@ val set_corrupt : segment -> float -> unit
 (** Probability in [0,1] that a delivery is corrupted in flight; modelled
     as the receiver's CRC check dropping the frame. *)
 
+val clear_faults : segment -> unit
+(** Restores the segment and zeroes the loss/corruption probabilities.
+    Already-scheduled cut/restore events still fire; callers forcing
+    quiescence should clear faults after the last scheduled event. *)
+
 (** {1 Statistics} *)
 
 val id : segment -> int
