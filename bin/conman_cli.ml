@@ -415,6 +415,80 @@ let chaos_cmd =
       $ chaos_quick_arg $ chaos_replay_arg $ chaos_weaken_arg $ chaos_out_arg
       $ chaos_trace_arg)
 
+(* --- ha ------------------------------------------------------------------------ *)
+
+let ha_seed_arg =
+  let doc =
+    "Also run a seeded composite fault schedule (the chaos generator) on top of the \
+     handcrafted failover scenarios."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let ha_quick_arg =
+  let doc = "Quick mode: shorter chaos phases (CI smoke)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let ha seed quick =
+  let ticks = if quick then 6 else 10 in
+  let ev at fault = { Chaos.Schedule.at; fault } in
+  let sched ?(ticks = ticks) events =
+    { Chaos.Schedule.seed = 0; ticks; tail = 12; events }
+  in
+  let scenarios =
+    [
+      ( "primary-crash",
+        sched [ ev 2 (Chaos.Schedule.Nm_failover { ticks = if quick then 4 else 6 }) ] );
+      ( "split-brain-partition",
+        sched [ ev 2 (Chaos.Schedule.Ha_partition { ticks = if quick then 3 else 4 }) ] );
+      ( "standby-crash",
+        sched [ ev 2 (Chaos.Schedule.Standby_crash { ticks = 3 }) ] );
+      ( "double-failover",
+        sched ~ticks:12
+          [
+            ev 2 (Chaos.Schedule.Nm_failover { ticks = 3 });
+            ev 8 (Chaos.Schedule.Nm_failover { ticks = 3 });
+          ] );
+    ]
+    @
+    match seed with
+    | Some s ->
+        [ (Printf.sprintf "seeded-%d" s, Chaos.Schedule.generate ~seed:s ~ticks ()) ]
+    | None -> []
+  in
+  Fmt.pr "HA failover scenarios (%s):@." (if quick then "quick" else "full");
+  Fmt.pr "  %-22s %-6s %s@." "scenario" "result"
+    "failovers detect replayed split-brain lost epoch";
+  let run_one (name, s) =
+    let r = Chaos.Engine.run s in
+    let h = r.Chaos.Engine.ha in
+    let fails = Chaos.Engine.failures r in
+    Fmt.pr "  %-22s %-6s %9d %6s %8d %11d %4d %5d@." name
+      (if fails = [] then "ok" else "FAIL")
+      h.Chaos.Engine.failovers
+      (match h.Chaos.Engine.detection_ticks with
+      | Some t -> string_of_int t ^ "t"
+      | None -> "-")
+      h.Chaos.Engine.replayed h.Chaos.Engine.split_brain_count h.Chaos.Engine.lost_intents
+      h.Chaos.Engine.final_epoch;
+    List.iter (fun v -> Fmt.pr "      %a@." Chaos.Engine.pp_verdict v) fails;
+    fails = []
+  in
+  let ok = List.fold_left (fun acc sc -> run_one sc && acc) true scenarios in
+  if ok then Fmt.pr "verdict: all HA invariants held@."
+  else begin
+    Fmt.pr "verdict: HA invariant violated@.";
+    exit 1
+  end
+
+let ha_cmd =
+  Cmd.v
+    (Cmd.info "ha"
+       ~doc:
+         "Exercise NM high availability: primary crash, NM<->standby partition, standby crash \
+          and double failover against the diamond testbed, checking failure detection, \
+          epoch-fenced leadership (no split brain) and intent preservation across takeover")
+    Term.(const ha $ ha_seed_arg $ ha_quick_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -425,4 +499,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd ]))
+          [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd; ha_cmd ]))

@@ -1,26 +1,33 @@
-(* The chaos engine: drives a Schedule.t over a live diamond deployment and
+(* The chaos engine: drives a Schedule.t over a live diamond deployment
+   managed by an HA pair of NMs (primary + warm standby, see Ha) and
    checks global invariants.
 
    The run has two phases. During the chaos phase each monitor tick first
    fires due fault-reverts, then applies the schedule events due at that
-   tick, then lets the reconciliation loop take its tick. After the last
-   chaos tick every outstanding fault is force-reverted (crashed devices
-   restart and re-announce, knobs are cleared) and the quiescence tail
-   begins: up to [tail] clean ticks during which every live intent must
-   re-converge.
+   tick, then gives both HA nodes their heartbeat/failure-detector tick,
+   then lets the acting leader's reconciliation loop take its tick (when
+   no node is acting — the primary crashed and the standby has not yet
+   promoted — virtual time still advances, so heartbeat gaps grow). After
+   the last chaos tick every outstanding fault is force-reverted and the
+   quiescence tail begins: up to [tail] clean ticks during which every
+   live intent must re-converge under whoever leads.
 
    Invariants checked at quiescence:
      convergence          every live intent Active and the testbed carries
                           end-to-end traffic within the tail
      oscillation          bounded successful reroutes per intent (carried
-                          across NM crashes)
+                          across failovers)
      conservation         per-segment drop accounting balances, and the
                           counter-based localizer finds nothing wrong on
                           the converged path
-     journal-equivalence  a fresh NM recovering from this run's journal on
-                          a fresh testbed reaches the same structural
-                          show_actual fixpoint as a fresh NM achieving the
-                          goal directly
+     journal-equivalence  a fresh NM recovering from the acting leader's
+                          journal on a fresh testbed reaches the same
+                          structural show_actual fixpoint as a fresh NM
+                          achieving the goal directly
+     single-primary       no two nodes ever act as primary under the same
+                          epoch (epoch fencing contains split-brain)
+     no-lost-intents      every intent committed in either journal and
+                          never retired is live at the final leader
      stale-state          tearing every surviving script down returns every
                           scoped device to its pre-achieve structural state
                           (no leaked pipes/labels/xconnects)
@@ -44,6 +51,16 @@ let default_config = { monitor = Monitor.default_config; oscillation_bound = Non
 
 type verdict = { name : string; ok : bool; detail : string }
 
+type ha_stats = {
+  failovers : int; (* promotions across both nodes *)
+  detection_ticks : int option;
+      (* ticks from the first leader crash to the first promotion after it *)
+  replayed : int; (* unconfirmed requests replayed on promotion *)
+  split_brain_count : int; (* ticks with two acting primaries under one epoch *)
+  lost_intents : int; (* committed-never-retired intents missing at the end *)
+  final_epoch : int;
+}
+
 type report = {
   verdicts : verdict list;
   converged_tick : int option; (* tail tick at which everything was healthy *)
@@ -51,6 +68,7 @@ type report = {
   nm_crashes : int;
   mgmt_counters : string;
   trace : string list; (* monitor event log, across NM incarnations *)
+  ha : ha_stats;
 }
 
 let failures r = List.filter (fun v -> not v.ok) r.verdicts
@@ -62,7 +80,11 @@ let pp_report ppf r =
   List.iter (fun v -> Fmt.pf ppf "  %a@." pp_verdict v) r.verdicts;
   Fmt.pf ppf "  converged=%s repairs=%d nm-crashes=%d %s@."
     (match r.converged_tick with Some t -> Printf.sprintf "tail+%d" t | None -> "never")
-    r.total_repairs r.nm_crashes r.mgmt_counters
+    r.total_repairs r.nm_crashes r.mgmt_counters;
+  Fmt.pf ppf "  ha[failovers=%d detect=%s replayed=%d split-brain=%d lost=%d epoch=%d]@."
+    r.ha.failovers
+    (match r.ha.detection_ticks with Some t -> string_of_int t ^ " tick(s)" | None -> "n/a")
+    r.ha.replayed r.ha.split_brain_count r.ha.lost_intents r.ha.final_epoch
 
 (* Same notion of structural state as the monitor's drift check: show_actual
    keys, qualified by module, minus transient pending[..] negotiation
@@ -122,23 +144,107 @@ let run ?(config = default_config) (sched : Schedule.t) =
   (match Nm.achieve d.Scenarios.dnm d.Scenarios.dgoal with
   | Ok _ -> ()
   | Error e -> failwith ("chaos: initial achieve failed: " ^ e));
-  (* mutable because an Nm_crash event replaces all three *)
-  let nm = ref d.Scenarios.dnm in
+  (* The HA pair: the diamond's NM acts as primary, a second NM station on
+     the same management channel stands by. Pairing bootstraps replication
+     and fences the primary at epoch 1. *)
+  let standby_nm =
+    Nm.create ~transport:d.Scenarios.dtransport ~chan:d.Scenarios.dchan ~net
+      ~my_id:Scenarios.standby_station_id ()
+  in
+  let ha_config =
+    {
+      Ha.default_config with
+      Ha.heartbeat_period_ns = config.monitor.Monitor.interval_ns;
+      replay_horizon_ns = Some config.monitor.Monitor.interval_ns;
+    }
+  in
+  let ha_p, ha_s = Ha.pair ~config:ha_config ~primary:d.Scenarios.dnm ~standby:standby_nm () in
+  let nodes = [ ha_p; ha_s ] in
+  (* [acting] is the node whose monitor drives reconciliation; it trails
+     actual leadership by at most the moment the switch is noticed below *)
+  let acting = ref ha_p in
   let mon =
     ref
       (Monitor.create ~config:config.monitor
-         ~telemetry:(Telemetry.create ~scope !nm)
-         !nm)
+         ~telemetry:(Telemetry.create ~scope (Ha.nm !acting))
+         (Ha.nm !acting))
   in
   let trace = ref [] in
-  let carried = Hashtbl.create 8 in (* intent id -> repairs under dead NMs *)
+  let carried = Hashtbl.create 8 in (* intent id -> repairs under previous leaders *)
   let dead_monitor_repairs = ref 0 in
   let nm_crashes = ref 0 in
+  let first_crash_tick = ref None in
+  let split_brain = ref 0 in
+  let epoch_leaders = Hashtbl.create 8 in (* epoch -> station id seen acting under it *)
+  let epoch_conflicts = ref [] in
+  (* retire the acting leader's monitor, preserving its accounting: repair
+     counts move into [carried]/[dead_monitor_repairs] (and are zeroed on
+     the records so a node returning to leadership is not double-counted)
+     and its event log is appended to the cross-incarnation trace *)
+  let bank_monitor () =
+    List.iter
+      (fun (i : Intent.t) ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt carried i.Intent.id) in
+        Hashtbl.replace carried i.Intent.id (prev + i.Intent.repairs);
+        i.Intent.repairs <- 0)
+      (Nm.intents (Ha.nm !acting));
+    dead_monitor_repairs := !dead_monitor_repairs + Monitor.repairs !mon;
+    trace := !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon)
+  in
+  let leader () =
+    match List.filter (fun h -> Ha.is_alive h && Ha.role h = Ha.Primary) nodes with
+    | [] -> None
+    | [ h ] -> Some h
+    | h :: rest ->
+        Some (List.fold_left (fun best x -> if Ha.epoch x > Ha.epoch best then x else best) h rest)
+  in
+  let ensure_leader () =
+    match leader () with
+    | Some l when l != !acting ->
+        bank_monitor ();
+        acting := l;
+        let nm = Ha.nm l in
+        mon := Monitor.create ~config:config.monitor ~telemetry:(Telemetry.create ~scope nm) nm;
+        Some l
+    | x -> x
+  in
+  (* per-tick leadership sample: the single-primary invariant is "no two
+     alive nodes act under the same epoch", checked both instantaneously
+     and cumulatively (an epoch may never be claimed by two stations) *)
+  let observe_leadership () =
+    if
+      Ha.is_alive ha_p && Ha.is_alive ha_s
+      && Ha.role ha_p = Ha.Primary
+      && Ha.role ha_s = Ha.Primary
+      && Ha.epoch ha_p = Ha.epoch ha_s
+    then incr split_brain;
+    List.iter
+      (fun h ->
+        if Ha.is_alive h && Ha.role h = Ha.Primary then
+          let e = Ha.epoch h and id = Nm.my_id (Ha.nm h) in
+          match Hashtbl.find_opt epoch_leaders e with
+          | None -> Hashtbl.replace epoch_leaders e id
+          | Some id0 when id0 <> id ->
+              if not (List.mem e !epoch_conflicts) then epoch_conflicts := e :: !epoch_conflicts
+          | Some _ -> ())
+      nodes
+  in
   let reverts = ref [] in (* (due_tick, undo) *)
   let fire_reverts tick =
     let due, later = List.partition (fun (at, _) -> at <= tick) !reverts in
     reverts := later;
     List.iter (fun (_, undo) -> undo ()) due
+  in
+  let crash_node ~tick ~ticks h =
+    let id = Nm.my_id (Ha.nm h) in
+    Mgmt.Faults.crash faults id;
+    Ha.set_alive h false;
+    reverts :=
+      ( tick + ticks,
+        fun () ->
+          Mgmt.Faults.restart faults id;
+          Ha.set_alive h true )
+      :: !reverts
   in
   let apply tick (e : Schedule.event) =
     let until ticks undo = reverts := (tick + ticks, undo) :: !reverts in
@@ -180,40 +286,53 @@ let run ?(config = default_config) (sched : Schedule.t) =
             (* the agent says Hello again; the NM flushes owed deletions
                and re-applies active script slices *)
             Agent.announce (List.assoc dev d.Scenarios.dagents) net;
-            Nm.run !nm)
-    | Schedule.Nm_crash ->
+            Nm.run (Ha.nm !acting))
+    | Schedule.Nm_crash | Schedule.Nm_failover _ ->
+        (* the acting leader crashes: heartbeats stop, the standby's
+           failure detector must notice and promote. Nm_crash is the
+           legacy single-NM event, mapped to a 2-tick failover. *)
+        let ticks =
+          match e.Schedule.fault with Schedule.Nm_failover { ticks } -> ticks | _ -> 2
+        in
         incr nm_crashes;
-        (* bank the dead incarnation's accounting before replacing it *)
-        List.iter
-          (fun (i : Intent.t) ->
-            let prev = Option.value ~default:0 (Hashtbl.find_opt carried i.Intent.id) in
-            Hashtbl.replace carried i.Intent.id (prev + i.Intent.repairs))
-          (Nm.intents !nm);
-        dead_monitor_repairs := !dead_monitor_repairs + Monitor.repairs !mon;
-        trace := !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon);
-        let journal = Intent.journal_of_string (Intent.journal_to_string (Nm.journal !nm)) in
-        let nm' =
-          Nm.create ~transport:d.Scenarios.dtransport ~journal ~chan:d.Scenarios.dchan ~net
-            ~my_id:Scenarios.nm_station_id ()
+        if !first_crash_tick = None then first_crash_tick := Some tick;
+        let victim = match leader () with Some l -> l | None -> !acting in
+        crash_node ~tick ~ticks victim
+    | Schedule.Standby_crash { ticks } ->
+        let victim =
+          match leader () with Some l when l == ha_s -> ha_p | Some _ | None -> ha_s
         in
-        (* re-adopt and re-converge inside a bounded horizon so recovery
-           does not fast-forward through faults scheduled for later ticks *)
-        let deadline =
-          Int64.add (Event_queue.now eq) config.monitor.Monitor.interval_ns
-        in
-        Nm.set_horizon nm' (Some deadline);
-        Scenarios.diamond_adopt d nm';
-        Nm.recover nm';
-        Nm.set_horizon nm' None;
-        nm := nm';
-        mon :=
-          Monitor.create ~config:config.monitor ~telemetry:(Telemetry.create ~scope nm') nm'
+        crash_node ~tick ~ticks victim
+    | Schedule.Ha_partition { ticks } ->
+        (* isolate the NMs from each other while both keep reaching the
+           agents: the standby will suspect the primary dead and promote,
+           and only epoch fencing keeps the old primary from competing *)
+        let a = Scenarios.nm_station_id and b = Scenarios.standby_station_id in
+        Mgmt.Faults.set_drop faults ~src:a ~dst:b 1.0;
+        Mgmt.Faults.set_drop faults ~src:b ~dst:a 1.0;
+        until ticks (fun () ->
+            Mgmt.Faults.set_drop faults ~src:a ~dst:b 0.0;
+            Mgmt.Faults.set_drop faults ~src:b ~dst:a 0.0)
+  in
+  (* one engine tick: both HA nodes heartbeat/detect, then whoever leads
+     reconciles. With no live leader the clock still advances a full
+     interval so the standby's heartbeat gap keeps growing. *)
+  let advance_interval () =
+    ignore
+      (Net.run_until net
+         ~deadline:(Int64.add (Event_queue.now eq) config.monitor.Monitor.interval_ns))
+  in
+  let ha_tick tick =
+    Ha.tick ha_p ~tick;
+    Ha.tick ha_s ~tick;
+    observe_leadership ();
+    match ensure_leader () with Some _ -> Monitor.tick !mon | None -> advance_interval ()
   in
   (* --- chaos phase ----------------------------------------------------- *)
   for tick = 0 to sched.Schedule.ticks - 1 do
     fire_reverts tick;
     List.iter (fun e -> if e.Schedule.at = tick then apply tick e) sched.Schedule.events;
-    Monitor.tick !mon
+    ha_tick tick
   done;
   (* --- force quiescence ------------------------------------------------ *)
   fire_reverts max_int;
@@ -221,7 +340,9 @@ let run ?(config = default_config) (sched : Schedule.t) =
   List.iter (fun n -> Link.clear_faults (seg n)) Schedule.core_segments;
   (* --- quiescence tail -------------------------------------------------- *)
   let live () =
-    List.filter (fun (i : Intent.t) -> i.Intent.status <> Intent.Retired) (Nm.intents !nm)
+    List.filter
+      (fun (i : Intent.t) -> i.Intent.status <> Intent.Retired)
+      (Nm.intents (Ha.nm !acting))
   in
   let healthy () =
     let l = live () in
@@ -233,10 +354,12 @@ let run ?(config = default_config) (sched : Schedule.t) =
   let tail_tick = ref 0 in
   while !converged = None && !tail_tick < sched.Schedule.tail do
     incr tail_tick;
-    Monitor.tick !mon;
+    ha_tick (sched.Schedule.ticks + !tail_tick - 1);
     if healthy () then converged := Some !tail_tick
   done;
   (* --- verdicts --------------------------------------------------------- *)
+  (* everything from here on interrogates the final acting leader *)
+  let nm = Ha.nm !acting in
   let intent_repairs (i : Intent.t) =
     i.Intent.repairs + Option.value ~default:0 (Hashtbl.find_opt carried i.Intent.id)
   in
@@ -273,7 +396,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
       | None -> (2 * List.length sched.Schedule.events) + 4
     in
     let worst =
-      List.fold_left (fun acc i -> max acc (intent_repairs i)) 0 (Nm.intents !nm)
+      List.fold_left (fun acc i -> max acc (intent_repairs i)) 0 (Nm.intents nm)
     in
     {
       name = "oscillation";
@@ -298,16 +421,16 @@ let run ?(config = default_config) (sched : Schedule.t) =
           | Intent.Active, Some s when s.Script_gen.path.Path_finder.visits <> [] ->
               Some s.Script_gen.path
           | _ -> None)
-        (Nm.intents !nm)
+        (Nm.intents nm)
     in
     match path with
     | Some p when !converged <> None ->
         (* a fresh store primed with healthy probe rounds must give the
            converged path a clean bill — leftover counter imbalances would
            mean the Diagnose model's conservation laws are violated *)
-        let tel = Telemetry.create ~scope !nm in
+        let tel = Telemetry.create ~scope nm in
         for _ = 1 to 4 do
-          ignore (Nm.probe_end_to_end !nm p);
+          ignore (Nm.probe_end_to_end nm p);
           Telemetry.scrape tel
         done;
         let diag = Telemetry.diagnose_path tel p in
@@ -329,7 +452,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
         }
   in
   (* capture before teardown: teardown appends Retire entries *)
-  let journal_str = Intent.journal_to_string (Nm.journal !nm) in
+  let journal_str = Intent.journal_to_string (Nm.journal nm) in
   let v_journal =
     let reference =
       let d2 = Scenarios.build_diamond () in
@@ -369,14 +492,80 @@ let run ?(config = default_config) (sched : Schedule.t) =
                  (List.hd diff));
         }
   in
+  (* HA accounting and invariants, computed before the stale-state teardown
+     mutates the intent set *)
+  let failovers = Ha.promotions ha_p + Ha.promotions ha_s in
+  let final_epoch = max (Ha.epoch ha_p) (Ha.epoch ha_s) in
+  let detection_ticks =
+    match !first_crash_tick with
+    | None -> None
+    | Some c -> (
+        let promos =
+          List.sort compare
+            (List.filter (fun t -> t >= c) (Ha.promotion_ticks ha_p @ Ha.promotion_ticks ha_s))
+        in
+        match promos with t :: _ -> Some (t - c) | [] -> None)
+  in
+  let v_single_primary =
+    let ok = !split_brain = 0 && !epoch_conflicts = [] in
+    {
+      name = "single-primary";
+      ok;
+      detail =
+        (if ok then
+           Printf.sprintf "epoch fencing held over %d failover(s) (final epoch %d)" failovers
+             final_epoch
+         else
+           Printf.sprintf "%d split-brain tick(s), %d contested epoch(s)" !split_brain
+             (List.length !epoch_conflicts));
+    }
+  in
+  (* No committed intent may be lost across failovers: anything Commit-ed in
+     EITHER node's journal (replication is asynchronous, so the deposed
+     journal can hold a tail the survivor never saw) and never Retire-d
+     must still be live at the final leader. *)
+  let lost_intents =
+    let committed_live j =
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Intent.Commit id -> if List.mem id acc then acc else id :: acc
+          | Intent.Retire id -> List.filter (fun x -> x <> id) acc
+          | Intent.Begin _ | Intent.Bind _ -> acc)
+        []
+        (Intent.entries j)
+    in
+    let wanted =
+      List.sort_uniq compare
+        (committed_live (Nm.journal (Ha.nm ha_p)) @ committed_live (Nm.journal (Ha.nm ha_s)))
+    in
+    let present =
+      List.filter_map
+        (fun (i : Intent.t) ->
+          if i.Intent.status <> Intent.Retired then Some i.Intent.id else None)
+        (Nm.intents nm)
+    in
+    List.filter (fun id -> not (List.mem id present)) wanted
+  in
+  let v_lost =
+    {
+      name = "no-lost-intents";
+      ok = lost_intents = [];
+      detail =
+        (if lost_intents = [] then "every committed intent survived failover"
+         else
+           Printf.sprintf "%d committed intent(s) lost (%s)" (List.length lost_intents)
+             (String.concat ", " (List.map string_of_int lost_intents)));
+    }
+  in
   let v_stale =
     List.iter
       (fun (i : Intent.t) ->
         match i.Intent.script with
-        | Some s when i.Intent.status <> Intent.Retired -> Nm.teardown !nm s
+        | Some s when i.Intent.status <> Intent.Retired -> Nm.teardown nm s
         | _ -> ())
-      (Nm.intents !nm);
-    let after = scope_keys !nm scope in
+      (Nm.intents nm);
+    let after = scope_keys nm scope in
     let leaked =
       List.concat_map
         (fun (dev, ks) ->
@@ -409,10 +598,22 @@ let run ?(config = default_config) (sched : Schedule.t) =
   in
   let trace = !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon) in
   {
-    verdicts = [ v_convergence; v_oscillation; v_conservation; v_journal; v_stale ];
+    verdicts =
+      [
+        v_convergence; v_oscillation; v_conservation; v_journal; v_single_primary; v_lost; v_stale;
+      ];
     converged_tick = !converged;
     total_repairs;
     nm_crashes = !nm_crashes;
     mgmt_counters = render_counters faults;
     trace;
+    ha =
+      {
+        failovers;
+        detection_ticks;
+        replayed = Ha.replayed ha_p + Ha.replayed ha_s;
+        split_brain_count = !split_brain;
+        lost_intents = List.length lost_intents;
+        final_epoch;
+      };
   }

@@ -1,7 +1,9 @@
 (** The chaos engine: runs a {!Schedule.t} against a live diamond
-    deployment, forcing quiescence after the chaos phase, and checks the
-    global invariants (convergence, bounded oscillation, counter
-    conservation, journal-replay equivalence, no stale datapath state).
+    deployment managed by a primary/standby NM pair (see {!Conman.Ha}),
+    forcing quiescence after the chaos phase, and checks the global
+    invariants (convergence, bounded oscillation, counter conservation,
+    journal-replay equivalence, at most one acting primary per epoch, no
+    committed intent lost across failover, no stale datapath state).
     Fully deterministic: same schedule, same report. *)
 
 type config = {
@@ -16,6 +18,21 @@ val default_config : config
 
 type verdict = { name : string; ok : bool; detail : string }
 
+type ha_stats = {
+  failovers : int;  (** promotions across both nodes *)
+  detection_ticks : int option;
+      (** ticks from the first leader crash to the first promotion after
+          it; [None] when no crash occurred or none led to a promotion *)
+  replayed : int;  (** unconfirmed requests replayed on promotion *)
+  split_brain_count : int;
+      (** ticks on which two alive nodes acted as primary under the same
+          epoch — the fencing invariant requires 0 *)
+  lost_intents : int;
+      (** intents committed in either journal, never retired, yet missing
+          at the final leader — must be 0 *)
+  final_epoch : int;
+}
+
 type report = {
   verdicts : verdict list;
   converged_tick : int option;
@@ -24,6 +41,7 @@ type report = {
   nm_crashes : int;
   mgmt_counters : string;  (** rendered management fault counters *)
   trace : string list;  (** monitor event log, across NM incarnations *)
+  ha : ha_stats;
 }
 
 val run : ?config:config -> Schedule.t -> report

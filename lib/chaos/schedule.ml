@@ -24,6 +24,18 @@ type fault =
   | Mgmt_partition of { dev : string; ticks : int }
   | Agent_crash of { dev : string; ticks : int }
   | Nm_crash
+      (* legacy single-NM event (journal restart); the HA engine maps it
+         to [Nm_failover { ticks = 2 }] — kept for repro-file compat *)
+  | Nm_failover of { ticks : int }
+      (* the acting primary NM station crashes for [ticks] ticks: the
+         standby must detect the silence and promote itself *)
+  | Ha_partition of { ticks : int }
+      (* NM <-> standby management partition: heartbeats and journal
+         shipping stop both ways while agents stay reachable — the
+         split-brain scenario epoch fencing must contain *)
+  | Standby_crash of { ticks : int }
+      (* the non-acting node crashes — including mid-promotion when it
+         follows an [Nm_failover] *)
 
 type event = { at : int; fault : fault }
 type t = { seed : int; ticks : int; tail : int; events : event list }
@@ -47,6 +59,9 @@ let pp_fault ppf = function
   | Mgmt_partition { dev; ticks } -> Fmt.pf ppf "mgmt partition %s for %d ticks" dev ticks
   | Agent_crash { dev; ticks } -> Fmt.pf ppf "agent crash %s for %d ticks" dev ticks
   | Nm_crash -> Fmt.pf ppf "NM crash + journal recovery"
+  | Nm_failover { ticks } -> Fmt.pf ppf "primary NM crash for %d ticks (failover)" ticks
+  | Ha_partition { ticks } -> Fmt.pf ppf "NM<->standby partition for %d ticks" ticks
+  | Standby_crash { ticks } -> Fmt.pf ppf "standby NM crash for %d ticks" ticks
 
 let pp_event ppf e = Fmt.pf ppf "@t=%d %a" e.at pp_fault e.fault
 
@@ -64,14 +79,20 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
   let prng = Mgmt.Faults.Prng.create seed in
   let pick xs = List.nth xs (Mgmt.Faults.Prng.below prng (List.length xs)) in
   let n_events = max 1 (int_of_float (intensity *. float_of_int ticks)) in
-  let nm_crashes = ref 0 in
+  let failovers = ref 0 in
+  let ha_partitions = ref 0 in
+  let standby_crashes = ref 0 in
   let duration ~at = max 1 (min (1 + Mgmt.Faults.Prng.below prng 3) (ticks - at)) in
+  (* HA faults must outlast the failure detector (~phi ticks of silence)
+     or nothing interesting happens before the revert *)
+  let ha_duration () = 3 + Mgmt.Faults.Prng.below prng 3 in
   let rec gen_one () =
-    (* weights: data-plane faults dominate; NM crash is the rare event *)
+    (* weights: data-plane faults dominate; NM-level faults are the rare
+       events, capped at one each so an episode stays analysable *)
     let kind =
       pick
         [ `Cut; `Cut; `Cut; `Loss; `Loss; `Corrupt; `Flap; `Flap; `Drop; `Drop; `Dup; `Jitter;
-          `Partition; `Agent; `Agent; `Nm ]
+          `Partition; `Agent; `Agent; `Failover; `HaPartition; `StandbyCrash ]
     in
     let at = Mgmt.Faults.Prng.below prng (max 1 (ticks - 1)) in
     match kind with
@@ -103,18 +124,40 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
     | `Partition ->
         { at; fault = Mgmt_partition { dev = pick managed_devices; ticks = duration ~at } }
     | `Agent -> { at; fault = Agent_crash { dev = pick transit_devices; ticks = duration ~at } }
-    | `Nm ->
-        if !nm_crashes >= 1 then gen_one ()
+    | `Failover ->
+        if !failovers >= 1 then gen_one ()
         else begin
-          incr nm_crashes;
-          { at; fault = Nm_crash }
+          incr failovers;
+          { at; fault = Nm_failover { ticks = ha_duration () } }
+        end
+    | `HaPartition ->
+        if !ha_partitions >= 1 then gen_one ()
+        else begin
+          incr ha_partitions;
+          { at; fault = Ha_partition { ticks = ha_duration () } }
+        end
+    | `StandbyCrash ->
+        if !standby_crashes >= 1 then gen_one ()
+        else begin
+          incr standby_crashes;
+          { at; fault = Standby_crash { ticks = duration ~at } }
         end
   in
   let events =
     List.init n_events (fun _ -> gen_one ())
     |> List.stable_sort (fun a b -> compare a.at b.at)
   in
-  { seed; ticks; tail = max 6 (ticks / 2); events }
+  let has_ha =
+    List.exists
+      (fun e ->
+        match e.fault with
+        | Nm_crash | Nm_failover _ | Ha_partition _ | Standby_crash _ -> true
+        | _ -> false)
+      events
+  in
+  (* failover + replay + reconvergence needs a longer clean tail than
+     data-plane repair alone *)
+  { seed; ticks; tail = (if has_ha then max 12 (ticks / 2) else max 6 (ticks / 2)); events }
 
 (* --- sexp codec --------------------------------------------------------- *)
 
@@ -141,6 +184,9 @@ let fault_to_sexp = function
   | Agent_crash { dev; ticks } ->
       Sexp.list [ Sexp.atom "agent-crash"; Sexp.atom dev; Sexp.of_int ticks ]
   | Nm_crash -> Sexp.list [ Sexp.atom "nm-crash" ]
+  | Nm_failover { ticks } -> Sexp.list [ Sexp.atom "nm-failover"; Sexp.of_int ticks ]
+  | Ha_partition { ticks } -> Sexp.list [ Sexp.atom "ha-partition"; Sexp.of_int ticks ]
+  | Standby_crash { ticks } -> Sexp.list [ Sexp.atom "standby-crash"; Sexp.of_int ticks ]
 
 let fault_of_sexp s =
   match Sexp.to_list s with
@@ -168,6 +214,9 @@ let fault_of_sexp s =
   | [ Sexp.Atom "agent-crash"; dev; ticks ] ->
       Agent_crash { dev = Sexp.to_atom dev; ticks = Sexp.to_int ticks }
   | [ Sexp.Atom "nm-crash" ] -> Nm_crash
+  | [ Sexp.Atom "nm-failover"; ticks ] -> Nm_failover { ticks = Sexp.to_int ticks }
+  | [ Sexp.Atom "ha-partition"; ticks ] -> Ha_partition { ticks = Sexp.to_int ticks }
+  | [ Sexp.Atom "standby-crash"; ticks ] -> Standby_crash { ticks = Sexp.to_int ticks }
   | _ -> raise (Sexp.Parse_error "chaos fault")
 
 let to_sexp t =

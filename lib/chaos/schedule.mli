@@ -4,9 +4,11 @@
     {!Mgmt.Faults.Prng} family) and composes every fault injector in the
     stack: link cut/loss/corrupt/flap, management-channel
     drop/duplicate/jitter/partition, agent device crash+restart with
-    volatile-state loss, and NM crash + journal recovery. All durations are
-    capped so injected faults end before the quiescence tail, making
-    convergence decidable. Schedules serialise to sexp for exact replay. *)
+    volatile-state loss, and the NM-level HA faults: primary crash
+    (failover), NM<->standby partition (split-brain pressure) and standby
+    crash. All durations are capped so injected faults end before the
+    quiescence tail, making convergence decidable. Schedules serialise to
+    sexp for exact replay. *)
 
 type fault =
   | Link_cut of { seg : string; ticks : int }
@@ -19,6 +21,15 @@ type fault =
   | Mgmt_partition of { dev : string; ticks : int }
   | Agent_crash of { dev : string; ticks : int }
   | Nm_crash
+      (** legacy single-NM journal-restart event; the engine maps it to
+          [Nm_failover { ticks = 2 }] — kept for repro-file compat *)
+  | Nm_failover of { ticks : int }
+      (** the acting primary NM crashes; the standby must detect and
+          promote *)
+  | Ha_partition of { ticks : int }
+      (** NM <-> standby partition while agents stay reachable — the
+          split-brain scenario epoch fencing must contain *)
+  | Standby_crash of { ticks : int }  (** the non-acting node crashes *)
 
 type event = { at : int  (** monitor tick the fault strikes at *); fault : fault }
 
@@ -37,8 +48,9 @@ val managed_devices : string list
 
 val generate : ?intensity:float -> seed:int -> ticks:int -> unit -> t
 (** [generate ~seed ~ticks ()] derives a schedule deterministically from
-    [seed]. [intensity] is events per tick (default 0.5). At most one
-    [Nm_crash] per schedule. *)
+    [seed]. [intensity] is events per tick (default 0.5). At most one each
+    of [Nm_failover], [Ha_partition] and [Standby_crash] per schedule; the
+    tail is extended when any is present. *)
 
 (** {1 Rendering and codec} *)
 

@@ -7,16 +7,27 @@ type t = {
   device : Netsim.Device.t;
   chan : Mgmt.Channel.t;
   mutable nm_device : string; (* device id of the NM currently in charge *)
+  (* Leadership epoch of the NM in charge. Frames fenced with a lower epoch
+     come from a deposed primary and are dropped; a higher epoch means a
+     newer leader and is adopted. Unfenced frames are epoch 0 (the single-NM
+     legacy mode, which never bumps the epoch). *)
+  mutable nm_epoch : int;
+  mutable fenced_rejects : int; (* lower-epoch frames dropped *)
+  mutable takeover_rejects : int; (* stale takeover announcements dropped *)
   mutable modules : Module_impl.t list;
   mutable annex : Wire.annex;
   mutable polling : bool;
   mutable repoll : bool; (* progress was made mid-pass: run another pass *)
-  (* Replies already given, keyed by (requesting NM, request id): a retried
-     state-changing request is answered from here instead of being applied
-     twice. Bounded FIFO — old entries are evicted once confirmed requests
-     can no longer be retried in practice. *)
-  done_reqs : (string * int, Wire.t) Hashtbl.t;
-  done_order : (string * int) Queue.t;
+  (* Replies already given, keyed by request id: a retried state-changing
+     request is answered from here instead of being applied twice. Request
+     ids are process-unique across NMs (incarnation striping in Nm), so the
+     key deliberately omits the sender — a promoted standby replaying its
+     predecessor's unconfirmed request under a new epoch is recognised as
+     the same work, keeping the script exactly-once across failover.
+     Bounded FIFO — old entries are evicted once confirmed requests can no
+     longer be retried in practice. *)
+  done_reqs : (int, Wire.t) Hashtbl.t;
+  done_order : int Queue.t;
 }
 
 let done_cache_max = 256
@@ -105,9 +116,29 @@ let exec_primitive t (prim : Primitive.t) =
   | Primitive.Delete_filter { owner; drop_src; drop_dst } ->
       (find_module_exn t owner).Module_impl.delete_filter ~drop_src ~drop_dst
 
-let handle t ~src payload =
-  match Wire.decode payload with
-  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+let rec handle_msg t ~src ~epoch msg =
+  match msg with
+  | Wire.Fenced { epoch; msg } -> handle_msg t ~src ~epoch msg
+  | _ when epoch < t.nm_epoch ->
+      (* A deposed primary: whatever it wants, it no longer speaks for the
+         network. The reliable layer below already acked the envelope, so
+         dropping here cannot cause a retry storm. *)
+      (match msg with
+      | Wire.Nm_takeover _ -> t.takeover_rejects <- t.takeover_rejects + 1
+      | _ -> t.fenced_rejects <- t.fenced_rejects + 1)
+  | _ ->
+      if epoch > t.nm_epoch then begin
+        (* a strictly newer leader: redirect before dispatching *)
+        t.nm_epoch <- epoch;
+        t.nm_device <- src
+      end;
+      dispatch t ~src msg
+
+and dispatch t ~src msg =
+  match msg with
+  | Wire.Fenced { epoch; msg } ->
+      (* nested fences should not occur; honour the innermost epoch *)
+      handle_msg t ~src ~epoch msg
   | Wire.Show_potential_req { req } ->
       let modules =
         List.map (fun m -> (m.Module_impl.mref, m.Module_impl.abstraction ())) t.modules
@@ -122,7 +153,7 @@ let handle t ~src payload =
       let perf = List.map (fun m -> (m.Module_impl.mref, m.Module_impl.perf ())) t.modules in
       send t (Wire.Show_perf_resp { req; perf })
   | Wire.Bundle { req; cmds; annex } -> (
-      match Hashtbl.find_opt t.done_reqs (src, req) with
+      match Hashtbl.find_opt t.done_reqs req with
       | Some reply ->
           (* retried request: the earlier reply was lost, not the work *)
           send t reply
@@ -143,7 +174,7 @@ let handle t ~src payload =
               Wire.Bundle_ack { req }
             with Failure e | Devconf.Linux_cli.Error e -> Wire.Bundle_err { req; error = e }
           in
-          remember_done t (src, req) reply;
+          remember_done t req reply;
           send t reply)
   | Wire.Self_test_req { req; target; against } -> (
       match find_module t target with
@@ -159,7 +190,7 @@ let handle t ~src payload =
           poll_all t
       | None -> ())
   | Wire.Set_address { req; target; addr; plen } ->
-      (match Hashtbl.find_opt t.done_reqs (src, req) with
+      (match Hashtbl.find_opt t.done_reqs req with
       | Some reply -> send t reply
       | None ->
           (match find_module t target with
@@ -168,17 +199,30 @@ let handle t ~src payload =
               poll_all t
           | None -> ());
           let reply = Wire.Ack { req } in
-          remember_done t (src, req) reply;
+          remember_done t req reply;
           send t reply)
-  | Wire.Nm_takeover { nm } ->
-      (* a standby NM took over (§V): all further management traffic,
-         including triggers and conveys, goes to it *)
-      t.nm_device <- nm
+  | Wire.Nm_takeover { nm; epoch } ->
+      (* a standby NM took over (§V) under a strictly newer epoch: all
+         further management traffic, including triggers and conveys, goes
+         to it. Anything else — a duplicated or delayed announcement from a
+         dead or deposed NM — must not steal the agent back (split-brain). *)
+      if epoch > t.nm_epoch then begin
+        t.nm_epoch <- epoch;
+        t.nm_device <- nm
+      end
+      else if epoch < t.nm_epoch || nm <> t.nm_device then
+        t.takeover_rejects <- t.takeover_rejects + 1
   | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Show_perf_resp _
   | Wire.Bundle_ack _ | Wire.Ack _ | Wire.Bundle_err _ | Wire.Self_test_resp _ | Wire.Completion _
-  | Wire.Trigger _ ->
-      (* NM-bound messages; not meaningful at an agent *)
+  | Wire.Trigger _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _ | Wire.Ha_journal_ack _
+  | Wire.Ha_inflight _ | Wire.Ha_confirm _ ->
+      (* NM-bound (or NM-to-NM) messages; not meaningful at an agent *)
       ()
+
+let handle t ~src payload =
+  match Wire.decode payload with
+  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+  | msg -> handle_msg t ~src ~epoch:0 msg
 
 let create ~chan ~nm_device device =
   let t =
@@ -186,6 +230,9 @@ let create ~chan ~nm_device device =
       device;
       chan;
       nm_device;
+      nm_epoch = 0;
+      fenced_rejects = 0;
+      takeover_rejects = 0;
       modules = [];
       annex = Wire.empty_annex;
       polling = false;
@@ -217,3 +264,7 @@ let announce t net =
   send t (Wire.Hello { ports })
 
 let modules t = t.modules
+let nm_device t = t.nm_device
+let nm_epoch t = t.nm_epoch
+let fenced_rejects t = t.fenced_rejects
+let takeover_rejects t = t.takeover_rejects

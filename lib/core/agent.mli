@@ -3,7 +3,13 @@
     Announces physical connectivity, answers showPotential/showActual,
     executes script bundles by dispatching primitives to the local protocol
     modules, relays conveyMessage traffic between its modules and the NM,
-    and switches allegiance on an [Nm_takeover]. *)
+    and switches allegiance on an [Nm_takeover].
+
+    Leadership is epoch-fenced: the agent tracks the epoch of the NM in
+    charge and drops frames fenced with a lower epoch, so a resurrected or
+    partitioned old primary cannot steal the agent back or issue conflicting
+    configuration (split-brain fencing). Unfenced frames are epoch 0, the
+    single-NM legacy mode. *)
 
 type t
 
@@ -27,3 +33,17 @@ val handle : t -> src:string -> bytes -> unit
 (** The channel receive handler (exposed for tests). *)
 
 val find_module : t -> Ids.t -> Module_impl.t option
+
+(** {2 Leadership fencing} *)
+
+val nm_device : t -> string
+(** Station id of the NM the agent currently obeys. *)
+
+val nm_epoch : t -> int
+(** Leadership epoch of the NM in charge; 0 until a fenced leader appears. *)
+
+val fenced_rejects : t -> int
+(** Frames dropped because they carried a lower epoch than [nm_epoch]. *)
+
+val takeover_rejects : t -> int
+(** Takeover announcements dropped for not being strictly newer. *)

@@ -43,19 +43,43 @@ type t = {
   mutable horizon : int64 option;
       (* when set, [run] stops at this virtual time instead of draining the
          queue — lets the monitor interleave with scheduled faults *)
+  mutable epoch : int;
+      (* leadership epoch (see Ha). 0 = single-NM legacy mode, frames go out
+         unfenced; > 0 = every frame is wrapped in Wire.Fenced so agents can
+         reject a deposed primary *)
+  mutable ha_hook : (src:string -> Wire.t -> unit) option;
+      (* receives NM-to-NM HA traffic (heartbeats, journal shipping) and
+         takeover announcements — installed by Ha *)
+  mutable on_inflight_add : (int * string * Wire.t -> unit) option;
+      (* fired when a state-changing request enters the in-flight set —
+         Ha ships the delta to the standby *)
+  mutable on_confirm : (int -> unit) option;
+      (* fired when an in-flight request is confirmed (left the set) *)
 }
+
+(* An NM holding a non-zero epoch fences everything it sends; agents drop
+   frames from lower epochs, so a deposed primary cannot issue conflicting
+   configuration. Epoch 0 keeps the legacy single-NM byte encoding. *)
+let encode_out t msg =
+  Wire.encode (if t.epoch > 0 then Wire.Fenced { epoch = t.epoch; msg } else msg)
 
 let send t ~dst msg =
   t.stats.sent <- t.stats.sent + 1;
-  Mgmt.Channel.send t.chan ~src:t.my_id ~dst (Wire.encode msg)
+  Mgmt.Channel.send t.chan ~src:t.my_id ~dst (encode_out t msg)
 
 (* Sends a state-changing request and remembers it until the agent
    confirms (Bundle_ack / Ack / Bundle_err). *)
 let send_req t ~dst ~req msg =
   t.inflight <- (req, dst, msg) :: t.inflight;
+  (match t.on_inflight_add with Some f -> f (req, dst, msg) | None -> ());
   send t ~dst msg
 
-let confirm t req = t.inflight <- List.filter (fun (r, _, _) -> r <> req) t.inflight
+let confirm t req =
+  match List.partition (fun (r, _, _) -> r = req) t.inflight with
+  | [], _ -> ()
+  | _, keep ->
+      t.inflight <- keep;
+      (match t.on_confirm with Some f -> f req | None -> ())
 
 let annex_of t reporter =
   { Wire.domains = t.topo.Topology.domain_prefixes; reporter }
@@ -122,7 +146,19 @@ let settle_debts t src =
 let rec handle t ~src payload =
   match Wire.decode payload with
   | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
-  | msg -> (
+  | msg -> handle_msg t ~src msg
+
+and handle_msg t ~src msg =
+  match msg with
+  | Wire.Fenced { epoch = _; msg } ->
+      (* NM-to-NM frames arrive fenced; the HA layer judges the epochs
+         carried inside the messages themselves *)
+      handle_msg t ~src msg
+  | Wire.Ha_heartbeat _ | Wire.Ha_journal _ | Wire.Ha_journal_ack _ | Wire.Ha_inflight _
+  | Wire.Ha_confirm _ | Wire.Nm_takeover _ -> (
+      (* HA traffic stays out of the Table-VI message accounting *)
+      match t.ha_hook with Some f -> f ~src msg | None -> ())
+  | _ -> (
       (* Any message from a known device is proof of liveness: if the
          transport had given up on it (marking it unreachable) but the
          device never actually crashed, no Hello will ever arrive — so
@@ -202,16 +238,19 @@ let rec handle t ~src payload =
              scripts, whose execution is idempotent. *)
           if t.auto_repair then List.iter (send_script t) t.active_scripts
       | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Show_perf_req _ | Wire.Bundle _
-      | Wire.Self_test_req _ | Wire.Nm_takeover _ | Wire.Set_address _ ->
+      | Wire.Self_test_req _ | Wire.Set_address _
+      (* consumed by the outer match; listed for exhaustiveness *)
+      | Wire.Nm_takeover _ | Wire.Fenced _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _
+      | Wire.Ha_journal_ack _ | Wire.Ha_inflight _ | Wire.Ha_confirm _ ->
         ())
 
 and create ?transport ?journal ~chan ~net ~my_id () =
   let journal = match journal with Some j -> j | None -> Intent.journal () in
-  (* Agents cache one reply per (nm, req) to make retried requests
-     idempotent, so request ids must never repeat across NM incarnations
-     that share an identity: a restarted NM reusing a dead incarnation's
-     ids would have its fresh bundles answered from that cache without
-     being executed. Each incarnation gets its own stride of id space. *)
+  (* Agents cache one reply per request id to make retried requests
+     idempotent, so request ids must never repeat across NM incarnations:
+     a restarted NM reusing a dead incarnation's ids would have its fresh
+     bundles answered from that cache without being executed. Each
+     incarnation gets its own stride of id space. *)
   incr incarnations;
   let t =
     {
@@ -238,6 +277,10 @@ and create ?transport ?journal ~chan ~net ~my_id () =
       next_intent = Intent.next_id journal;
       pending_deletes = Hashtbl.create 8;
       horizon = None;
+      epoch = 0;
+      ha_hook = None;
+      on_inflight_add = None;
+      on_confirm = None;
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:my_id (fun ~src payload -> handle t ~src payload);
@@ -378,7 +421,8 @@ let cancel_unconfirmed t (script : Script_gen.script) =
     (fun tr ->
       List.iter
         (fun (_, dst, msg) ->
-          ignore (Mgmt.Reliable.cancel tr ~src:t.my_id ~dst (Wire.encode msg)))
+          (* mirror the send-side wrapping or the byte match fails *)
+          ignore (Mgmt.Reliable.cancel tr ~src:t.my_id ~dst (encode_out t msg)))
         victims)
     t.transport
 
@@ -456,17 +500,32 @@ let achieve ?(configure = true) ?max_attempts t goal =
 
 (* Copies the primary's learnt state (topology, domain knowledge, active
    scripts) into a standby NM so it can maintain the network after a
-   takeover. *)
+   takeover. Nothing mutable is shared: topology records are copied,
+   intents are rebuilt by replaying the journal entries shipped over, so
+   post-replication mutations on the primary cannot leak into the standby.
+   (Ha replaces this one-shot copy with continuous journal-shipping; this
+   remains the bootstrap and the §V manual-failover path.) *)
 let replicate_to t ~(standby : t) =
-  standby.topo.Topology.devices <- t.topo.Topology.devices;
+  standby.topo.Topology.devices <-
+    List.map
+      (fun (d : Topology.device_info) -> { d with Topology.di_id = d.Topology.di_id })
+      t.topo.Topology.devices;
   standby.topo.Topology.module_domains <- t.topo.Topology.module_domains;
   standby.topo.Topology.domain_prefixes <- t.topo.Topology.domain_prefixes;
   standby.active_scripts <- t.active_scripts;
   standby.auto_repair <- t.auto_repair;
-  standby.intents <- t.intents;
-  standby.next_intent <- max standby.next_intent t.next_intent;
+  (* ship the journal entries the standby lacks and rebuild its intent list
+     from its own journal — fresh records, not aliases of the primary's *)
+  let have = List.length (Intent.entries standby.journal) in
+  List.iteri
+    (fun i e -> if i >= have then Intent.append standby.journal e)
+    (Intent.entries t.journal);
+  standby.intents <- Intent.replay standby.journal;
+  standby.next_intent <- max standby.next_intent (Intent.next_id standby.journal);
   (* requests the primary has issued but not yet seen confirmed: the
-     standby must be able to replay them if it takes over mid-script *)
+     standby must be able to replay them if it takes over mid-script
+     (tuples are immutable, so sharing the spine is harmless — the
+     standby's list evolves independently) *)
   standby.inflight <- t.inflight;
   standby.req <- max standby.req t.req
 
@@ -474,13 +533,18 @@ let replicate_to t ~(standby : t) =
    its management traffic (triggers, conveys, responses). The broadcast is
    best-effort, so each known device also gets a unicast (which the
    transport retries); then any request the primary died without seeing
-   confirmed is re-issued under this NM's identity. *)
-let take_over t =
-  send t ~dst:Mgmt.Frame.broadcast (Wire.Nm_takeover { nm = t.my_id });
+   confirmed is re-issued under this NM's identity.
+
+   Leadership is epoch-fenced: the announcement carries a strictly larger
+   epoch (the caller's, or ours + 1 by default), agents reject anything
+   older, and from here on every frame this NM sends is fenced with it. *)
+let take_over ?epoch t =
+  t.epoch <- (match epoch with Some e -> max t.epoch e | None -> t.epoch + 1);
+  send t ~dst:Mgmt.Frame.broadcast (Wire.Nm_takeover { nm = t.my_id; epoch = t.epoch });
   List.iter
     (fun (d : Topology.device_info) ->
       if d.Topology.di_id <> t.my_id then
-        send t ~dst:d.Topology.di_id (Wire.Nm_takeover { nm = t.my_id }))
+        send t ~dst:d.Topology.di_id (Wire.Nm_takeover { nm = t.my_id; epoch = t.epoch }))
     t.topo.Topology.devices;
   let pending = List.rev t.inflight in
   t.inflight <- [];
@@ -937,3 +1001,27 @@ let stats_received t = t.stats.received
 let stats_acks t = t.stats.acks
 let inflight_count t = List.length t.inflight
 let transport t = t.transport
+
+(* --- high-availability support (used by Ha) ----------------------------------- *)
+
+let my_id t = t.my_id
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- max t.epoch e
+let send_msg t ~dst msg = send t ~dst msg
+let set_ha_hook t f = t.ha_hook <- Some f
+
+let set_repl_hooks t ~on_add ~on_confirm =
+  t.on_inflight_add <- Some on_add;
+  t.on_confirm <- Some on_confirm
+
+(* Applies one journal entry shipped from the primary and rebuilds the
+   intent list from the (now longer) local journal. Replay is idempotent
+   with respect to duplicated entries, so re-shipped deltas are safe. *)
+let apply_replicated_entry t entry =
+  Intent.append t.journal entry;
+  t.intents <- Intent.replay t.journal;
+  t.next_intent <- max t.next_intent (Intent.next_id t.journal)
+
+let inflight t = t.inflight
+let set_inflight t l = t.inflight <- l
+let bump_req t r = t.req <- max t.req r

@@ -169,13 +169,60 @@ val probe_end_to_end : t -> Path_finder.path -> bool * string
 (** {1 Multiple NMs (§V)} *)
 
 val replicate_to : t -> standby:t -> unit
-(** Copies the learnt topology, domain knowledge, active scripts and
-    unconfirmed in-flight requests into a warm standby. *)
+(** Copies the learnt topology, domain knowledge, active scripts, journal
+    and unconfirmed in-flight requests into a warm standby. Nothing mutable
+    is shared: topology records are copied and the standby's intents are
+    rebuilt by replaying the shipped journal entries, so later mutations on
+    the primary never leak into the standby. {!Ha} supersedes this one-shot
+    copy with continuous journal-shipping; it remains the bootstrap. *)
 
-val take_over : t -> unit
+val take_over : ?epoch:int -> t -> unit
 (** Broadcasts an [Nm_takeover] (plus a retried unicast per known device):
     every agent redirects its management traffic to this NM. Requests the
-    primary never saw confirmed are re-issued under this NM's identity. *)
+    primary never saw confirmed are re-issued under this NM's identity.
+
+    The announcement and all subsequent frames are fenced with a strictly
+    larger leadership epoch — [epoch] if given (clamped to never regress),
+    otherwise the current epoch + 1 — so agents reject the deposed primary
+    instead of obeying two managers (split-brain fencing). *)
+
+(** {2 High-availability support (used by {!Ha})} *)
+
+val my_id : t -> string
+
+val epoch : t -> int
+(** Current leadership epoch; 0 = unfenced single-NM legacy mode. *)
+
+val set_epoch : t -> int -> unit
+(** Raises the epoch (never lowers it); subsequent frames are fenced. *)
+
+val send_msg : t -> dst:string -> Wire.t -> unit
+(** Sends one message over the management channel, fenced per the current
+    epoch — the HA layer's transport for heartbeats and journal shipping. *)
+
+val set_ha_hook : t -> (src:string -> Wire.t -> unit) -> unit
+(** Routes received NM-to-NM HA traffic ([Ha_*], [Nm_takeover]) to the
+    hook instead of the normal dispatch (and outside Table-VI stats). *)
+
+val set_repl_hooks :
+  t -> on_add:(int * string * Wire.t -> unit) -> on_confirm:(int -> unit) -> unit
+(** Observes the in-flight set: [on_add] fires when a state-changing
+    request is sent, [on_confirm] when it is confirmed — the deltas the
+    primary ships to its standby. *)
+
+val apply_replicated_entry : t -> Intent.entry -> unit
+(** Appends one journal entry shipped from the primary and rebuilds the
+    intent list from the local journal (idempotent under re-shipping). *)
+
+val inflight : t -> (int * string * Wire.t) list
+(** The in-flight set, newest first. *)
+
+val set_inflight : t -> (int * string * Wire.t) list -> unit
+(** Replaces the in-flight set — promotion merges the replicated set in
+    before {!take_over} replays it. *)
+
+val bump_req : t -> int -> unit
+(** Raises the request-id counter to at least the given value. *)
 
 (** {1 Observation} *)
 

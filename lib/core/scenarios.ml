@@ -7,6 +7,9 @@ open Netsim
 
 let nm_station_id = "id-NM"
 
+(* Station id of the warm-standby NM in HA deployments (see Ha). *)
+let standby_station_id = "id-NM2"
+
 type channel_kind = [ `Oob | `Raw ]
 
 (* Builds the channel stack: base channel (Oob or Raw), fault-injection

@@ -6,6 +6,9 @@
 val nm_station_id : string
 (** Device id the (primary) NM subscribes under. *)
 
+val standby_station_id : string
+(** Device id of the warm-standby NM in HA deployments (see {!Ha}). *)
+
 type channel_kind = [ `Oob | `Raw ]
 (** Pre-configured out-of-band channel, or the 4D-style raw in-band
     flooding channel (§III-A). *)

@@ -22,7 +22,20 @@ type t =
      per-pipe counter snapshots from every module (§II-B's perf reporting) *)
   | Show_perf_req of { req : int }
   | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
-  | Nm_takeover of { nm : string } (* a standby NM announces it is now primary *)
+  | Nm_takeover of { nm : string; epoch : int }
+      (* a standby NM announces it is now primary, under a new leadership
+         epoch; agents reject announcements that are not strictly newer *)
+  (* Leadership fence: an NM holding a non-zero epoch wraps everything it
+     sends, so agents can reject frames from a deposed primary. Unwrapped
+     frames are treated as epoch 0 (the single-NM legacy mode). *)
+  | Fenced of { epoch : int; msg : t }
+  (* NM <-> NM high availability (lib/core/ha.ml): heartbeats for failure
+     detection and continuous journal/in-flight replication to the standby *)
+  | Ha_heartbeat of { epoch : int; seq : int }
+  | Ha_journal of { epoch : int; seq : int; entry : Intent.entry }
+  | Ha_journal_ack of { epoch : int; upto : int }
+  | Ha_inflight of { epoch : int; req : int; dst : string; msg : t }
+  | Ha_confirm of { epoch : int; req : int }
   (* explicit address assignment by the NM (§II-E: the one task the paper
      keeps protocol-specific and centralised, like a DHCP server) *)
   | Set_address of { req : int; target : Ids.t; addr : string; plen : int }
@@ -56,9 +69,9 @@ let annex_of_sexp = function
       }
   | _ -> raise (Sexp.Parse_error "annex")
 
-let to_sexp =
+let rec to_sexp msg =
   let a = Sexp.atom in
-  function
+  match msg with
   | Hello { ports } ->
       Sexp.List
         [
@@ -72,7 +85,18 @@ let to_sexp =
   | Bundle { req; cmds; annex } ->
       Sexp.List
         [ a "bundle"; Sexp.of_int req; Sexp.List (List.map Primitive.to_sexp cmds); annex_to_sexp annex ]
-  | Nm_takeover { nm } -> Sexp.List [ a "nm-takeover"; a nm ]
+  | Nm_takeover { nm; epoch } -> Sexp.List [ a "nm-takeover"; a nm; Sexp.of_int epoch ]
+  | Fenced { epoch; msg } -> Sexp.List [ a "fenced"; Sexp.of_int epoch; to_sexp msg ]
+  | Ha_heartbeat { epoch; seq } ->
+      Sexp.List [ a "ha-heartbeat"; Sexp.of_int epoch; Sexp.of_int seq ]
+  | Ha_journal { epoch; seq; entry } ->
+      Sexp.List [ a "ha-journal"; Sexp.of_int epoch; Sexp.of_int seq; Intent.entry_to_sexp entry ]
+  | Ha_journal_ack { epoch; upto } ->
+      Sexp.List [ a "ha-journal-ack"; Sexp.of_int epoch; Sexp.of_int upto ]
+  | Ha_inflight { epoch; req; dst; msg } ->
+      Sexp.List [ a "ha-inflight"; Sexp.of_int epoch; Sexp.of_int req; a dst; to_sexp msg ]
+  | Ha_confirm { epoch; req } ->
+      Sexp.List [ a "ha-confirm"; Sexp.of_int epoch; Sexp.of_int req ]
   | Set_address { req; target; addr; plen } ->
       Sexp.List [ a "set-address"; Sexp.of_int req; Sexp.of_mref target; a addr; Sexp.of_int plen ]
   | Self_test_req { req; target; against } ->
@@ -127,7 +151,7 @@ let to_sexp =
   | Convey { src; dst; payload } ->
       Sexp.List [ a "convey"; Sexp.of_mref src; Sexp.of_mref dst; Peer_msg.to_sexp payload ]
 
-let of_sexp sexp =
+let rec of_sexp sexp =
   let s = Sexp.to_atom in
   match sexp with
   | Sexp.List [ Sexp.Atom "hello"; Sexp.List ports ] ->
@@ -146,7 +170,22 @@ let of_sexp sexp =
   | Sexp.List [ Sexp.Atom "bundle"; req; Sexp.List cmds; annex ] ->
       Bundle
         { req = Sexp.to_int req; cmds = List.map Primitive.of_sexp cmds; annex = annex_of_sexp annex }
-  | Sexp.List [ Sexp.Atom "nm-takeover"; nm ] -> Nm_takeover { nm = s nm }
+  | Sexp.List [ Sexp.Atom "nm-takeover"; nm; epoch ] ->
+      Nm_takeover { nm = s nm; epoch = Sexp.to_int epoch }
+  | Sexp.List [ Sexp.Atom "fenced"; epoch; msg ] ->
+      Fenced { epoch = Sexp.to_int epoch; msg = of_sexp msg }
+  | Sexp.List [ Sexp.Atom "ha-heartbeat"; epoch; seq ] ->
+      Ha_heartbeat { epoch = Sexp.to_int epoch; seq = Sexp.to_int seq }
+  | Sexp.List [ Sexp.Atom "ha-journal"; epoch; seq; entry ] ->
+      Ha_journal
+        { epoch = Sexp.to_int epoch; seq = Sexp.to_int seq; entry = Intent.entry_of_sexp entry }
+  | Sexp.List [ Sexp.Atom "ha-journal-ack"; epoch; upto ] ->
+      Ha_journal_ack { epoch = Sexp.to_int epoch; upto = Sexp.to_int upto }
+  | Sexp.List [ Sexp.Atom "ha-inflight"; epoch; req; dst; msg ] ->
+      Ha_inflight
+        { epoch = Sexp.to_int epoch; req = Sexp.to_int req; dst = s dst; msg = of_sexp msg }
+  | Sexp.List [ Sexp.Atom "ha-confirm"; epoch; req ] ->
+      Ha_confirm { epoch = Sexp.to_int epoch; req = Sexp.to_int req }
   | Sexp.List [ Sexp.Atom "set-address"; req; t; addr; plen ] ->
       Set_address
         { req = Sexp.to_int req; target = Sexp.to_mref t; addr = s addr; plen = Sexp.to_int plen }

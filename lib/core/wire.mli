@@ -23,7 +23,23 @@ type t =
           every module on the device (read-only, like showActual) *)
   | Bundle of { req : int; cmds : Primitive.t list; annex : annex }
       (** NM -> device: a CONMan script slice *)
-  | Nm_takeover of { nm : string } (** a standby NM announces it is primary (§V) *)
+  | Nm_takeover of { nm : string; epoch : int }
+      (** a standby NM announces it is primary under a new leadership epoch
+          (§V); agents reject announcements that are not strictly newer *)
+  | Fenced of { epoch : int; msg : t }
+      (** leadership fence: an NM holding a non-zero epoch wraps every frame
+          it sends so agents can reject a deposed primary; unwrapped frames
+          are epoch 0 (single-NM legacy mode) *)
+  | Ha_heartbeat of { epoch : int; seq : int }
+      (** primary -> standby liveness beacon for the failure detector *)
+  | Ha_journal of { epoch : int; seq : int; entry : Intent.entry }
+      (** primary -> standby: one intent-journal entry, stream position [seq] *)
+  | Ha_journal_ack of { epoch : int; upto : int }
+      (** standby -> primary: cumulative ack of the journal stream *)
+  | Ha_inflight of { epoch : int; req : int; dst : string; msg : t }
+      (** primary -> standby: a request entered the in-flight set *)
+  | Ha_confirm of { epoch : int; req : int }
+      (** primary -> standby: request [req] was confirmed (left in-flight) *)
   | Set_address of { req : int; target : Ids.t; addr : string; plen : int }
       (** NM-assigned address (§II-E's DHCP-like exception) *)
   | Self_test_req of { req : int; target : Ids.t; against : Ids.t option }
