@@ -642,6 +642,183 @@ let ha_datapoints () =
   print_endline "\n===== HA failover data points (BENCH_ha.json) =====";
   print_string json
 
+(* --- overload data points (BENCH_overload.json) --------------------------------- *)
+
+(* Three experiments behind the overload-protection claims:
+
+   1. A 20-seed soak where every schedule is guaranteed a telemetry storm
+      (an Overload event is injected when the generator did not draw one).
+      Gates: zero P0/P1 frames shed anywhere, zero spurious failovers
+      (promotions in schedules with no HA fault — a starved failure
+      detector faking a dead primary), every run converged, and a nonzero
+      P3 shed count proving the storms actually bit.
+   2. Failure detection under load: the handcrafted primary-crash incident
+      with and without a saturating storm around it — the detection
+      latency in ticks must not degrade.
+   3. A widened testbed (8-router chain) under a sustained direct storm,
+      measuring shed volume at scale and the telemetry poller's
+      shed-feedback backoff (base -> final scrape period). *)
+let overload_datapoints () =
+  let soak_ticks = 6 in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let has_overload s =
+    List.exists
+      (fun (e : Chaos.Schedule.event) ->
+        match e.Chaos.Schedule.fault with Chaos.Schedule.Overload _ -> true | _ -> false)
+      s.Chaos.Schedule.events
+  in
+  let has_ha s =
+    List.exists
+      (fun (e : Chaos.Schedule.event) ->
+        match e.Chaos.Schedule.fault with
+        | Chaos.Schedule.Nm_crash | Chaos.Schedule.Nm_failover _ | Chaos.Schedule.Ha_partition _
+        | Chaos.Schedule.Standby_crash _ ->
+            true
+        | _ -> false)
+      s.Chaos.Schedule.events
+  in
+  let force_overload s =
+    if has_overload s then s
+    else
+      let ev =
+        { Chaos.Schedule.at = 1; fault = Chaos.Schedule.Overload { intensity = 0.6; ticks = 3 } }
+      in
+      {
+        s with
+        Chaos.Schedule.events =
+          List.stable_sort
+            (fun (a : Chaos.Schedule.event) b -> compare a.Chaos.Schedule.at b.Chaos.Schedule.at)
+            (ev :: s.Chaos.Schedule.events);
+      }
+  in
+  let per_seed =
+    List.map
+      (fun seed ->
+        let sched = force_overload (Chaos.Schedule.generate ~seed ~ticks:soak_ticks ()) in
+        let r = Chaos.Engine.run sched in
+        let fails = List.map (fun v -> v.Chaos.Engine.name) (Chaos.Engine.failures r) in
+        (seed, sched, r, fails))
+      seeds
+  in
+  let violations = List.length (List.filter (fun (_, _, _, fails) -> fails <> []) per_seed) in
+  let converged =
+    List.length (List.filter (fun (_, _, r, _) -> r.Chaos.Engine.converged_tick <> None) per_seed)
+  in
+  let spurious_failovers =
+    List.fold_left
+      (fun acc (_, sched, r, _) ->
+        if (not (has_ha sched)) && r.Chaos.Engine.ha.Chaos.Engine.failovers > 0 then acc + 1
+        else acc)
+      0 per_seed
+  in
+  let sum f = List.fold_left (fun acc (_, _, r, _) -> acc + f r.Chaos.Engine.overload) 0 per_seed in
+  (* detection latency with and without the storm *)
+  let detect events =
+    let r = Chaos.Engine.run { Chaos.Schedule.seed = 0; ticks = 8; tail = 12; events } in
+    r.Chaos.Engine.ha.Chaos.Engine.detection_ticks
+  in
+  let crash = { Chaos.Schedule.at = 2; fault = Chaos.Schedule.Nm_failover { ticks = 6 } } in
+  let baseline_detect = detect [ crash ] in
+  let storm_detect =
+    detect
+      [
+        { Chaos.Schedule.at = 0; fault = Chaos.Schedule.Overload { intensity = 0.8; ticks = 7 } };
+        crash;
+      ]
+  in
+  let delta =
+    match (baseline_detect, storm_detect) with Some a, Some b -> Some (b - a) | _ -> None
+  in
+  (* the widened testbed: sustained storm on an 8-router chain *)
+  let n_wide = 8 in
+  let c = Scenarios.build_chain n_wide in
+  let wide_net = c.Scenarios.ctb.Netsim.Testbeds.chain_net in
+  let adm = c.Scenarios.cadmission in
+  let tel = Telemetry.create ~scope:c.Scenarios.cscope c.Scenarios.cnm in
+  Telemetry.set_shed_probe tel (fun () -> Mgmt.Admission.shed_total adm);
+  let base_period = Telemetry.period_ns tel in
+  Mgmt.Admission.reset_counters adm;
+  let wide_storm = ref 0 in
+  for t = 0 to 7 do
+    for i = 1 to 800 do
+      incr wide_storm;
+      Mgmt.Channel.send c.Scenarios.cchan ~src:Scenarios.nm_station_id
+        ~dst:(List.nth c.Scenarios.cscope (i mod List.length c.Scenarios.cscope))
+        (Wire.encode (Wire.Show_perf_req { req = 910_000_000 + (t * 1000) + i }))
+    done;
+    ignore
+      (Netsim.Net.run_until wide_net
+         ~deadline:
+           (Int64.add (Netsim.Event_queue.now (Netsim.Net.eq wide_net)) 250_000_000L));
+    Telemetry.maybe_scrape tel
+  done;
+  let wc = Mgmt.Admission.counters adm in
+  let seed_json (seed, _, (r : Chaos.Engine.report), fails) =
+    let o = r.Chaos.Engine.overload in
+    Printf.sprintf
+      "    { \"seed\": %d, \"ok\": %b, \"storm_frames\": %d, \"p0_shed\": %d, \"p1_shed\": %d, \
+       \"p3_shed\": %d, \"converged\": %b }"
+      seed (fails = []) o.Chaos.Engine.storm_frames o.Chaos.Engine.p0_shed
+      o.Chaos.Engine.p1_shed
+      (o.Chaos.Engine.p3_shed + o.Chaos.Engine.p3_expired)
+      (r.Chaos.Engine.converged_tick <> None)
+  in
+  let opt_int = function Some t -> string_of_int t | None -> "null" in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"soak\": {\n\
+      \    \"seeds\": %d,\n\
+      \    \"ticks\": %d\n\
+      \  },\n\
+      \  \"violations\": %d,\n\
+      \  \"converged\": %d,\n\
+      \  \"spurious_failovers\": %d,\n\
+      \  \"storm_frames\": %d,\n\
+      \  \"p0_shed\": %d,\n\
+      \  \"p1_shed\": %d,\n\
+      \  \"p2_shed\": %d,\n\
+      \  \"p3_shed\": %d,\n\
+      \  \"p3_expired\": %d,\n\
+      \  \"per_seed\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"failover_under_storm\": {\n\
+      \    \"baseline_detection_ticks\": %s,\n\
+      \    \"storm_detection_ticks\": %s,\n\
+      \    \"delta_ticks\": %s\n\
+      \  },\n\
+      \  \"wide_testbed\": {\n\
+      \    \"devices\": %d,\n\
+      \    \"storm_frames\": %d,\n\
+      \    \"p3_shed\": %d,\n\
+      \    \"p3_expired\": %d,\n\
+      \    \"p3_queue_high_water\": %d,\n\
+      \    \"telemetry_base_period_ns\": %Ld,\n\
+      \    \"telemetry_final_period_ns\": %Ld,\n\
+      \    \"telemetry_backoffs\": %d\n\
+      \  }\n\
+       }\n"
+      (List.length seeds) soak_ticks violations converged spurious_failovers
+      (sum (fun o -> o.Chaos.Engine.storm_frames))
+      (sum (fun o -> o.Chaos.Engine.p0_shed))
+      (sum (fun o -> o.Chaos.Engine.p1_shed))
+      (sum (fun o -> o.Chaos.Engine.p2_shed))
+      (sum (fun o -> o.Chaos.Engine.p3_shed))
+      (sum (fun o -> o.Chaos.Engine.p3_expired))
+      (String.concat ",\n" (List.map seed_json per_seed))
+      (opt_int baseline_detect) (opt_int storm_detect) (opt_int delta) n_wide !wide_storm
+      (wc.(3).Mgmt.Admission.shed + wc.(3).Mgmt.Admission.expired)
+      wc.(3).Mgmt.Admission.expired
+      wc.(3).Mgmt.Admission.queue_high_water base_period (Telemetry.period_ns tel)
+      (Telemetry.backoffs tel)
+  in
+  let oc = open_out "BENCH_overload.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== overload data points (BENCH_overload.json) =====";
+  print_string json
+
 let quick = Array.exists (fun a -> a = "--quick" || a = "quick") Sys.argv
 
 let () =
@@ -649,7 +826,8 @@ let () =
     selfheal_datapoints ();
     diagnose_datapoints ();
     chaos_datapoints ();
-    ha_datapoints ()
+    ha_datapoints ();
+    overload_datapoints ()
   end
   else begin
     reproductions ();
@@ -657,5 +835,6 @@ let () =
     selfheal_datapoints ();
     diagnose_datapoints ();
     chaos_datapoints ();
-    ha_datapoints ()
+    ha_datapoints ();
+    overload_datapoints ()
   end

@@ -489,6 +489,79 @@ let ha_cmd =
           epoch-fenced leadership (no split brain) and intent preservation across takeover")
     Term.(const ha $ ha_seed_arg $ ha_quick_arg)
 
+(* --- overload ------------------------------------------------------------------ *)
+
+let ov_seeds_arg =
+  let doc = "Seed set for the storm soak (comma-separated)." in
+  Arg.(value & opt (list int) [ 1; 2; 3; 4; 5 ] & info [ "seeds" ] ~docv:"NS" ~doc)
+
+let ov_ticks_arg =
+  let doc = "Chaos-phase length in monitor ticks (default 10, or 6 with --quick)." in
+  Arg.(value & opt (some int) None & info [ "ticks" ] ~docv:"T" ~doc)
+
+let ov_intensity_arg =
+  let doc = "Storm intensity in [0,1] for the Overload event forced into every schedule." in
+  Arg.(value & opt float 0.6 & info [ "intensity" ] ~docv:"F" ~doc)
+
+let ov_quick_arg =
+  let doc = "Quick mode: shorter schedules (CI smoke)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let overload seeds ticks intensity quick =
+  let ticks = match ticks with Some t -> t | None -> if quick then 6 else 10 in
+  let force s =
+    let stormy =
+      List.exists
+        (fun (e : Chaos.Schedule.event) ->
+          match e.Chaos.Schedule.fault with Chaos.Schedule.Overload _ -> true | _ -> false)
+        s.Chaos.Schedule.events
+    in
+    if stormy then s
+    else
+      let ev =
+        { Chaos.Schedule.at = 1; fault = Chaos.Schedule.Overload { intensity; ticks = 3 } }
+      in
+      {
+        s with
+        Chaos.Schedule.events =
+          List.stable_sort
+            (fun (a : Chaos.Schedule.event) b -> compare a.Chaos.Schedule.at b.Chaos.Schedule.at)
+            (ev :: s.Chaos.Schedule.events);
+      }
+  in
+  Fmt.pr "overload soak (%d seeds, %d ticks, storm intensity %.2f):@." (List.length seeds)
+    ticks intensity;
+  Fmt.pr "  %-6s %-6s %s@." "seed" "result" "storm  p0-shed p1-shed p3-shed  converged";
+  let run_one seed =
+    let r = Chaos.Engine.run (force (Chaos.Schedule.generate ~seed ~ticks ())) in
+    let o = r.Chaos.Engine.overload in
+    let fails = Chaos.Engine.failures r in
+    Fmt.pr "  %-6d %-6s %5d %8d %7d %7d  %s@." seed
+      (if fails = [] then "ok" else "FAIL")
+      o.Chaos.Engine.storm_frames o.Chaos.Engine.p0_shed o.Chaos.Engine.p1_shed
+      (o.Chaos.Engine.p3_shed + o.Chaos.Engine.p3_expired)
+      (match r.Chaos.Engine.converged_tick with
+      | Some t -> Printf.sprintf "tail+%d" t
+      | None -> "NO");
+    List.iter (fun v -> Fmt.pr "      %a@." Chaos.Engine.pp_verdict v) fails;
+    fails = []
+  in
+  let ok = List.fold_left (fun acc s -> run_one s && acc) true seeds in
+  if ok then Fmt.pr "verdict: graceful degradation held@."
+  else begin
+    Fmt.pr "verdict: overload invariant violated@.";
+    exit 1
+  end
+
+let overload_cmd =
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Force a telemetry storm (Overload event) into seeded fault schedules and check \
+          graceful degradation: heartbeats and repair scripts are never shed, telemetry is \
+          shed and backs off, no spurious failovers, and every schedule still converges")
+    Term.(const overload $ ov_seeds_arg $ ov_ticks_arg $ ov_intensity_arg $ ov_quick_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -499,4 +572,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd; ha_cmd ]))
+          [
+            repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd;
+            ha_cmd; overload_cmd;
+          ]))

@@ -61,6 +61,18 @@ type ha_stats = {
   final_epoch : int;
 }
 
+type overload_stats = {
+  storm_frames : int; (* telemetry-storm frames injected by Overload events *)
+  p0_shed : int; (* must stay 0: shed+expired in the heartbeat class *)
+  p1_shed : int; (* must stay 0: shed+expired in the script class *)
+  p2_shed : int;
+  p3_shed : int;
+  p3_expired : int;
+  p3_queue_high_water : int;
+  telemetry_final_period_ns : int64;
+  telemetry_backoffs : int; (* scrape-period doublings under shed feedback *)
+}
+
 type report = {
   verdicts : verdict list;
   converged_tick : int option; (* tail tick at which everything was healthy *)
@@ -69,6 +81,7 @@ type report = {
   mgmt_counters : string;
   trace : string list; (* monitor event log, across NM incarnations *)
   ha : ha_stats;
+  overload : overload_stats;
 }
 
 let failures r = List.filter (fun v -> not v.ok) r.verdicts
@@ -84,7 +97,15 @@ let pp_report ppf r =
   Fmt.pf ppf "  ha[failovers=%d detect=%s replayed=%d split-brain=%d lost=%d epoch=%d]@."
     r.ha.failovers
     (match r.ha.detection_ticks with Some t -> string_of_int t ^ " tick(s)" | None -> "n/a")
-    r.ha.replayed r.ha.split_brain_count r.ha.lost_intents r.ha.final_epoch
+    r.ha.replayed r.ha.split_brain_count r.ha.lost_intents r.ha.final_epoch;
+  if r.overload.storm_frames > 0 then
+    Fmt.pf ppf
+      "  overload[storm=%d shed p0=%d p1=%d p2=%d p3=%d(+%d expired) hw=%d tel-period=%Ldms \
+       backoffs=%d]@."
+      r.overload.storm_frames r.overload.p0_shed r.overload.p1_shed r.overload.p2_shed
+      r.overload.p3_shed r.overload.p3_expired r.overload.p3_queue_high_water
+      (Int64.div r.overload.telemetry_final_period_ns 1_000_000L)
+      r.overload.telemetry_backoffs
 
 (* Same notion of structural state as the monitor's drift check: show_actual
    keys, qualified by module, minus transient pending[..] negotiation
@@ -125,6 +146,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
   let net = d.Scenarios.dtb.Testbeds.dia_net in
   let eq = Net.eq net in
   let faults = d.Scenarios.dfaults in
+  let adm = d.Scenarios.dadmission in
   let scope = d.Scenarios.dscope in
   let seg name = Net.find_segment_exn net name in
   let device id =
@@ -163,12 +185,17 @@ let run ?(config = default_config) (sched : Schedule.t) =
   (* [acting] is the node whose monitor drives reconciliation; it trails
      actual leadership by at most the moment the switch is noticed below *)
   let acting = ref ha_p in
-  let mon =
-    ref
-      (Monitor.create ~config:config.monitor
-         ~telemetry:(Telemetry.create ~scope (Ha.nm !acting))
-         (Ha.nm !acting))
+  (* every leader's telemetry poller watches the admission layer's shed
+     counter and backs its scrape period off under overload; [tel] tracks
+     the current poller so the report can show the final (degraded) period *)
+  let tel = ref (Telemetry.create ~scope (Ha.nm ha_p)) in
+  let mk_monitor nm =
+    let t = Telemetry.create ~scope nm in
+    Telemetry.set_shed_probe t (fun () -> Mgmt.Admission.shed_total adm);
+    tel := t;
+    Monitor.create ~config:config.monitor ~telemetry:t nm
   in
+  let mon = ref (mk_monitor (Ha.nm !acting)) in
   let trace = ref [] in
   let carried = Hashtbl.create 8 in (* intent id -> repairs under previous leaders *)
   let dead_monitor_repairs = ref 0 in
@@ -203,8 +230,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
     | Some l when l != !acting ->
         bank_monitor ();
         acting := l;
-        let nm = Ha.nm l in
-        mon := Monitor.create ~config:config.monitor ~telemetry:(Telemetry.create ~scope nm) nm;
+        mon := mk_monitor (Ha.nm l);
         Some l
     | x -> x
   in
@@ -228,6 +254,33 @@ let run ?(config = default_config) (sched : Schedule.t) =
               if not (List.mem e !epoch_conflicts) then epoch_conflicts := e :: !epoch_conflicts
           | Some _ -> ())
       nodes
+  in
+  (* Overload storm: while active, every tick floods the channel with
+     low-priority showPerf requests from the acting leader's own station —
+     the worst offender, since it shares its admission bucket with the
+     monitor's legitimate probes. Agents fence-reject the unfenced
+     requests cheaply; the point is the load on the channel stack. The
+     burst always exceeds bucket capacity + backlog so the admission layer
+     must shed at any intensity. *)
+  let storm = ref None in
+  let storm_frames = ref 0 in
+  let storm_req = ref 900_000_000 in
+  let inject_storm () =
+    match !storm with
+    | None -> ()
+    | Some intensity -> (
+        match leader () with
+        | None -> ()
+        | Some l ->
+            let src = Nm.my_id (Ha.nm l) in
+            let burst = 512 + int_of_float (intensity *. 1024.) in
+            let n_scope = List.length scope in
+            for i = 0 to burst - 1 do
+              incr storm_req;
+              incr storm_frames;
+              Mgmt.Channel.send d.Scenarios.dchan ~src ~dst:(List.nth scope (i mod n_scope))
+                (Wire.encode (Wire.Show_perf_req { req = !storm_req }))
+            done)
   in
   let reverts = ref [] in (* (due_tick, undo) *)
   let fire_reverts tick =
@@ -313,6 +366,9 @@ let run ?(config = default_config) (sched : Schedule.t) =
         until ticks (fun () ->
             Mgmt.Faults.set_drop faults ~src:a ~dst:b 0.0;
             Mgmt.Faults.set_drop faults ~src:b ~dst:a 0.0)
+    | Schedule.Overload { intensity; ticks } ->
+        storm := Some intensity;
+        until ticks (fun () -> storm := None)
   in
   (* one engine tick: both HA nodes heartbeat/detect, then whoever leads
      reconciles. With no live leader the clock still advances a full
@@ -329,9 +385,11 @@ let run ?(config = default_config) (sched : Schedule.t) =
     match ensure_leader () with Some _ -> Monitor.tick !mon | None -> advance_interval ()
   in
   (* --- chaos phase ----------------------------------------------------- *)
+  Mgmt.Admission.reset_counters adm;
   for tick = 0 to sched.Schedule.ticks - 1 do
     fire_reverts tick;
     List.iter (fun e -> if e.Schedule.at = tick then apply tick e) sched.Schedule.events;
+    inject_storm ();
     ha_tick tick
   done;
   (* --- force quiescence ------------------------------------------------ *)
@@ -558,6 +616,62 @@ let run ?(config = default_config) (sched : Schedule.t) =
              (String.concat ", " (List.map string_of_int lost_intents)));
     }
   in
+  (* Overload invariants. The admission layer may never have shed or
+     expired a liveness (P0) or mutation (P1) frame — those classes bypass
+     both bucket and queue, so a nonzero count means the layering broke.
+     And when a storm was scheduled, the system must still have converged
+     and must not have misread channel pressure as a dead primary. *)
+  let adm_counters = Mgmt.Admission.counters adm in
+  let shed_of i =
+    adm_counters.(i).Mgmt.Admission.shed + adm_counters.(i).Mgmt.Admission.expired
+  in
+  let had_overload =
+    List.exists
+      (fun (e : Schedule.event) ->
+        match e.Schedule.fault with Schedule.Overload _ -> true | _ -> false)
+      sched.Schedule.events
+  in
+  let has_ha_fault =
+    List.exists
+      (fun (e : Schedule.event) ->
+        match e.Schedule.fault with
+        | Schedule.Nm_crash | Schedule.Nm_failover _ | Schedule.Ha_partition _
+        | Schedule.Standby_crash _ ->
+            true
+        | _ -> false)
+      sched.Schedule.events
+  in
+  let v_no_p0p1_shed =
+    let ok = shed_of 0 = 0 && shed_of 1 = 0 in
+    {
+      name = "no-p0p1-shed";
+      ok;
+      detail =
+        (if ok then
+           Printf.sprintf "liveness/mutation frames untouched (p2 shed %d, p3 shed %d)"
+             (shed_of 2) (shed_of 3)
+         else Printf.sprintf "P0 shed %d, P1 shed %d frame(s)" (shed_of 0) (shed_of 1));
+    }
+  in
+  let v_overload =
+    if not had_overload then
+      { name = "overload-degradation"; ok = true; detail = "no overload event scheduled" }
+    else
+      let spurious = (not has_ha_fault) && failovers > 0 in
+      let ok = !converged <> None && not spurious in
+      {
+        name = "overload-degradation";
+        ok;
+        detail =
+          (if ok then
+             Printf.sprintf "converged under a %d-frame storm (%d telemetry frame(s) shed)"
+               !storm_frames
+               (shed_of 2 + shed_of 3)
+           else if spurious then
+             Printf.sprintf "%d spurious failover(s): heartbeats starved by the storm" failovers
+           else "storm prevented re-convergence");
+      }
+  in
   let v_stale =
     List.iter
       (fun (i : Intent.t) ->
@@ -600,7 +714,8 @@ let run ?(config = default_config) (sched : Schedule.t) =
   {
     verdicts =
       [
-        v_convergence; v_oscillation; v_conservation; v_journal; v_single_primary; v_lost; v_stale;
+        v_convergence; v_oscillation; v_conservation; v_journal; v_single_primary; v_lost;
+        v_no_p0p1_shed; v_overload; v_stale;
       ];
     converged_tick = !converged;
     total_repairs;
@@ -615,5 +730,17 @@ let run ?(config = default_config) (sched : Schedule.t) =
         split_brain_count = !split_brain;
         lost_intents = List.length lost_intents;
         final_epoch;
+      };
+    overload =
+      {
+        storm_frames = !storm_frames;
+        p0_shed = shed_of 0;
+        p1_shed = shed_of 1;
+        p2_shed = shed_of 2;
+        p3_shed = adm_counters.(3).Mgmt.Admission.shed;
+        p3_expired = adm_counters.(3).Mgmt.Admission.expired;
+        p3_queue_high_water = adm_counters.(3).Mgmt.Admission.queue_high_water;
+        telemetry_final_period_ns = Telemetry.period_ns !tel;
+        telemetry_backoffs = Telemetry.backoffs !tel;
       };
   }

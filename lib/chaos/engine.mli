@@ -3,8 +3,10 @@
     forcing quiescence after the chaos phase, and checks the global
     invariants (convergence, bounded oscillation, counter conservation,
     journal-replay equivalence, at most one acting primary per epoch, no
-    committed intent lost across failover, no stale datapath state).
-    Fully deterministic: same schedule, same report. *)
+    committed intent lost across failover, no liveness/mutation frame ever
+    shed by admission control, convergence despite telemetry storms, no
+    stale datapath state). Fully deterministic: same schedule, same
+    report. *)
 
 type config = {
   monitor : Conman.Monitor.config;
@@ -33,6 +35,22 @@ type ha_stats = {
   final_epoch : int;
 }
 
+type overload_stats = {
+  storm_frames : int;
+      (** telemetry-storm frames injected by {!Schedule.Overload} events *)
+  p0_shed : int;  (** shed+expired heartbeat-class frames — must be 0 *)
+  p1_shed : int;  (** shed+expired script-class frames — must be 0 *)
+  p2_shed : int;
+  p3_shed : int;
+  p3_expired : int;
+  p3_queue_high_water : int;
+  telemetry_final_period_ns : int64;
+      (** the acting leader's scrape period at the end of the run — above
+          base when shed feedback backed it off and it has not yet decayed *)
+  telemetry_backoffs : int;
+      (** scrape-period doublings in response to shed feedback *)
+}
+
 type report = {
   verdicts : verdict list;
   converged_tick : int option;
@@ -42,6 +60,7 @@ type report = {
   mgmt_counters : string;  (** rendered management fault counters *)
   trace : string list;  (** monitor event log, across NM incarnations *)
   ha : ha_stats;
+  overload : overload_stats;
 }
 
 val run : ?config:config -> Schedule.t -> report

@@ -36,6 +36,10 @@ type fault =
   | Standby_crash of { ticks : int }
       (* the non-acting node crashes — including mid-promotion when it
          follows an [Nm_failover] *)
+  | Overload of { intensity : float; ticks : int }
+      (* management-plane storm: a burst of low-priority telemetry
+         requests floods the channel every tick for [ticks] ticks; the
+         admission layer must shed it without touching P0/P1 traffic *)
 
 type event = { at : int; fault : fault }
 type t = { seed : int; ticks : int; tail : int; events : event list }
@@ -62,6 +66,8 @@ let pp_fault ppf = function
   | Nm_failover { ticks } -> Fmt.pf ppf "primary NM crash for %d ticks (failover)" ticks
   | Ha_partition { ticks } -> Fmt.pf ppf "NM<->standby partition for %d ticks" ticks
   | Standby_crash { ticks } -> Fmt.pf ppf "standby NM crash for %d ticks" ticks
+  | Overload { intensity; ticks } ->
+      Fmt.pf ppf "mgmt overload %.2f for %d ticks (telemetry storm)" intensity ticks
 
 let pp_event ppf e = Fmt.pf ppf "@t=%d %a" e.at pp_fault e.fault
 
@@ -82,6 +88,7 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
   let failovers = ref 0 in
   let ha_partitions = ref 0 in
   let standby_crashes = ref 0 in
+  let overloads = ref 0 in
   let duration ~at = max 1 (min (1 + Mgmt.Faults.Prng.below prng 3) (ticks - at)) in
   (* HA faults must outlast the failure detector (~phi ticks of silence)
      or nothing interesting happens before the revert *)
@@ -92,7 +99,7 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
     let kind =
       pick
         [ `Cut; `Cut; `Cut; `Loss; `Loss; `Corrupt; `Flap; `Flap; `Drop; `Drop; `Dup; `Jitter;
-          `Partition; `Agent; `Agent; `Failover; `HaPartition; `StandbyCrash ]
+          `Partition; `Agent; `Agent; `Failover; `HaPartition; `StandbyCrash; `Overload ]
     in
     let at = Mgmt.Faults.Prng.below prng (max 1 (ticks - 1)) in
     match kind with
@@ -142,6 +149,13 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
           incr standby_crashes;
           { at; fault = Standby_crash { ticks = duration ~at } }
         end
+    | `Overload ->
+        if !overloads >= 1 then gen_one ()
+        else begin
+          incr overloads;
+          let burst = 0.25 +. (0.5 *. Mgmt.Faults.Prng.uniform prng) in
+          { at; fault = Overload { intensity = burst; ticks = duration ~at } }
+        end
   in
   let events =
     List.init n_events (fun _ -> gen_one ())
@@ -162,7 +176,12 @@ let generate ?(intensity = 0.5) ~seed ~ticks () =
 (* --- sexp codec --------------------------------------------------------- *)
 
 let fl f = Sexp.atom (Printf.sprintf "%.4f" f)
-let to_fl s = float_of_string (Sexp.to_atom s)
+
+let to_fl s =
+  let a = Sexp.to_atom s in
+  match float_of_string_opt a with
+  | Some f -> f
+  | None -> raise (Sexp.Parse_error ("not a float: " ^ a))
 
 let fault_to_sexp = function
   | Link_cut { seg; ticks } -> Sexp.list [ Sexp.atom "cut"; Sexp.atom seg; Sexp.of_int ticks ]
@@ -187,6 +206,8 @@ let fault_to_sexp = function
   | Nm_failover { ticks } -> Sexp.list [ Sexp.atom "nm-failover"; Sexp.of_int ticks ]
   | Ha_partition { ticks } -> Sexp.list [ Sexp.atom "ha-partition"; Sexp.of_int ticks ]
   | Standby_crash { ticks } -> Sexp.list [ Sexp.atom "standby-crash"; Sexp.of_int ticks ]
+  | Overload { intensity; ticks } ->
+      Sexp.list [ Sexp.atom "overload"; fl intensity; Sexp.of_int ticks ]
 
 let fault_of_sexp s =
   match Sexp.to_list s with
@@ -217,6 +238,8 @@ let fault_of_sexp s =
   | [ Sexp.Atom "nm-failover"; ticks ] -> Nm_failover { ticks = Sexp.to_int ticks }
   | [ Sexp.Atom "ha-partition"; ticks ] -> Ha_partition { ticks = Sexp.to_int ticks }
   | [ Sexp.Atom "standby-crash"; ticks ] -> Standby_crash { ticks = Sexp.to_int ticks }
+  | [ Sexp.Atom "overload"; intensity; ticks ] ->
+      Overload { intensity = to_fl intensity; ticks = Sexp.to_int ticks }
   | _ -> raise (Sexp.Parse_error "chaos fault")
 
 let to_sexp t =

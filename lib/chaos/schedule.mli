@@ -30,6 +30,11 @@ type fault =
       (** NM <-> standby partition while agents stay reachable — the
           split-brain scenario epoch fencing must contain *)
   | Standby_crash of { ticks : int }  (** the non-acting node crashes *)
+  | Overload of { intensity : float; ticks : int }
+      (** management-plane storm: a burst of low-priority telemetry
+          requests ([intensity] scales the per-tick burst size) floods the
+          channel for [ticks] ticks; the {!Mgmt.Admission} layer must shed
+          it without delaying heartbeats or repair scripts *)
 
 type event = { at : int  (** monitor tick the fault strikes at *); fault : fault }
 
@@ -49,8 +54,8 @@ val managed_devices : string list
 val generate : ?intensity:float -> seed:int -> ticks:int -> unit -> t
 (** [generate ~seed ~ticks ()] derives a schedule deterministically from
     [seed]. [intensity] is events per tick (default 0.5). At most one each
-    of [Nm_failover], [Ha_partition] and [Standby_crash] per schedule; the
-    tail is extended when any is present. *)
+    of [Nm_failover], [Ha_partition], [Standby_crash] and [Overload] per
+    schedule; the tail is extended when an HA fault is present. *)
 
 (** {1 Rendering and codec} *)
 

@@ -14,6 +14,7 @@ type t = {
   mutable nm_epoch : int;
   mutable fenced_rejects : int; (* lower-epoch frames dropped *)
   mutable takeover_rejects : int; (* stale takeover announcements dropped *)
+  mutable malformed_drops : int; (* undecodable frames dropped *)
   mutable modules : Module_impl.t list;
   mutable annex : Wire.annex;
   mutable polling : bool;
@@ -28,6 +29,11 @@ type t = {
      longer be retried in practice. *)
   done_reqs : (int, Wire.t) Hashtbl.t;
   done_order : int Queue.t;
+  (* Highest bundle request id ever executed here. Request ids grow with
+     the NM's send order, so a cached pure-deletion bundle at or above
+     this mark is the newest mutation the agent knows of and may safely
+     be re-run (see the Bundle cache-hit arm). *)
+  mutable max_exec_req : int;
 }
 
 let done_cache_max = 256
@@ -155,9 +161,28 @@ and dispatch t ~src msg =
   | Wire.Bundle { req; cmds; annex } -> (
       match Hashtbl.find_opt t.done_reqs req with
       | Some reply ->
-          (* retried request: the earlier reply was lost, not the work *)
+          (* Retried request: the earlier reply was lost, not the work.
+             One exception: a pure-deletion bundle at least as new as
+             anything executed here is re-run (deletion is idempotent)
+             before re-acking. A promoted standby replays its
+             predecessor's unconfirmed create/back-out pair in order; if
+             the back-out's delete first reached us ahead of the create
+             (ordering forfeited by a transport gap-skip) it executed
+             against nothing, and answering its replay purely from cache
+             would leave the replayed create standing forever. The
+             request-id guard keeps a stale delete retry from clobbering
+             state a newer script has since rebuilt. *)
+          if req >= t.max_exec_req && cmds <> [] && List.for_all Primitive.is_deletion cmds
+          then begin
+            t.max_exec_req <- req;
+            try
+              List.iter (exec_primitive t) cmds;
+              poll_all t
+            with _ -> ()
+          end;
           send t reply
       | None ->
+          if req > t.max_exec_req then t.max_exec_req <- req;
           t.annex <-
             {
               Wire.domains =
@@ -221,7 +246,10 @@ and dispatch t ~src msg =
 
 let handle t ~src payload =
   match Wire.decode payload with
-  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) -> ()
+  | exception (Sexp.Parse_error _ | Mgmt.Frame.Bad_frame _) ->
+      (* garbage on the channel (corruption, fuzzing, a buggy peer) is the
+         sender's problem, not ours: drop it, count it, keep serving *)
+      t.malformed_drops <- t.malformed_drops + 1
   | msg -> handle_msg t ~src ~epoch:0 msg
 
 let create ~chan ~nm_device device =
@@ -233,12 +261,14 @@ let create ~chan ~nm_device device =
       nm_epoch = 0;
       fenced_rejects = 0;
       takeover_rejects = 0;
+      malformed_drops = 0;
       modules = [];
       annex = Wire.empty_annex;
       polling = false;
       repoll = false;
       done_reqs = Hashtbl.create 64;
       done_order = Queue.create ();
+      max_exec_req = 0;
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:device.Netsim.Device.dev_id (fun ~src payload ->
@@ -268,3 +298,4 @@ let nm_device t = t.nm_device
 let nm_epoch t = t.nm_epoch
 let fenced_rejects t = t.fenced_rejects
 let takeover_rejects t = t.takeover_rejects
+let malformed_drops t = t.malformed_drops

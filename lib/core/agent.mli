@@ -47,3 +47,7 @@ val fenced_rejects : t -> int
 
 val takeover_rejects : t -> int
 (** Takeover announcements dropped for not being strictly newer. *)
+
+val malformed_drops : t -> int
+(** Undecodable frames dropped instead of raising out of the channel
+    handler (corruption, fuzzing, buggy peers). *)

@@ -414,6 +414,13 @@ let cancel_unconfirmed t (script : Script_gen.script) =
   in
   let victims, keep = List.partition belongs t.inflight in
   t.inflight <- keep;
+  (* the standby replicated these sends as re-issue candidates; a cancel
+     is as final as a confirm, so tell it — otherwise a promotion replays
+     the cancelled create after our back-out's delete has run and
+     resurrects state nobody wants *)
+  List.iter
+    (fun (req, _, _) -> match t.on_confirm with Some f -> f req | None -> ())
+    victims;
   (* also recall the transport's own retransmissions of those sends: a
      retry surviving in the timer wheel would otherwise deliver the create
      after the back-out's deletion *)

@@ -97,6 +97,10 @@ let target = function
   | Create_perf { owner; _ } | Delete_perf { owner; _ } -> owner.Ids.dev
   | Delete_pipe { owner; _ } -> owner.Ids.dev
 
+let is_deletion = function
+  | Delete_pipe _ | Delete_switch _ | Delete_filter _ | Delete_perf _ -> true
+  | Create_pipe _ | Create_switch _ | Create_filter _ | Create_perf _ -> false
+
 (* --- sexp conversions ------------------------------------------------------ *)
 
 let rule_to_sexp = function

@@ -51,6 +51,11 @@ val pp_rule : switch_rule Fmt.t
 val target : t -> string
 (** The device id a primitive must be delivered to. *)
 
+val is_deletion : t -> bool
+(** Whether the primitive only removes state. Deletions are idempotent at
+    the agent: re-executing one against missing state is a no-op, which
+    the agent exploits when a back-out bundle is replayed (see Agent). *)
+
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> t
 val equal : t -> t -> bool

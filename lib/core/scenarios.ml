@@ -12,13 +12,23 @@ let standby_station_id = "id-NM2"
 
 type channel_kind = [ `Oob | `Raw ]
 
+(* Admission class of an outgoing payload: decode the wire message and ask
+   it. Undecodable payloads (which senders never produce, but the layer
+   must be total) rank as interrogation — sheddable, but never ahead of
+   telemetry. *)
+let classify_payload payload =
+  Mgmt.Admission.priority_of_int
+    (match Wire.decode payload with exception _ -> 2 | msg -> Wire.priority_of msg)
+
 (* Builds the channel stack: base channel (Oob or Raw), fault-injection
-   layer, reliable delivery on top. With default knobs the fault layer is
-   a no-op, so fault-free runs behave as before — but every scenario can
-   be made lossy ([fault_seed] keeps it deterministic) and the NM always
-   has a transport to learn give-ups from. For the raw in-band channel a
-   management station device is created and wired to [attach_to]. *)
-let make_channel ?(fault_seed = 42) ?reliability kind net ~devices ~attach_to =
+   layer, reliable delivery, overload admission on top. With default knobs
+   the fault layer is a no-op and the admission layer passes everything,
+   so fault-free runs behave as before — but every scenario can be made
+   lossy ([fault_seed] keeps it deterministic), squeezed ([admission]
+   tightens the overload budget) and the NM always has a transport to
+   learn give-ups from. For the raw in-band channel a management station
+   device is created and wired to [attach_to]. *)
+let make_channel ?(fault_seed = 42) ?reliability ?admission kind net ~devices ~attach_to =
   let base, nms =
     match kind with
     | `Oob -> (Mgmt.Channel.Oob.create (Net.eq net), None)
@@ -34,8 +44,15 @@ let make_channel ?(fault_seed = 42) ?reliability kind net ~devices ~attach_to =
         (chan, Some nms)
   in
   let faulty, faults = Mgmt.Faults.wrap ~seed:fault_seed ~eq:(Net.eq net) base in
-  let chan, transport = Mgmt.Reliable.create ?config:reliability ~eq:(Net.eq net) faulty in
-  (chan, faults, transport, nms)
+  let reliable, transport =
+    Mgmt.Reliable.create ?config:reliability
+      ~classify:(fun payload -> Mgmt.Admission.priority_index (classify_payload payload))
+      ~eq:(Net.eq net) faulty
+  in
+  let chan, adm =
+    Mgmt.Admission.wrap ?config:admission ~eq:(Net.eq net) ~classify:classify_payload reliable
+  in
+  (chan, faults, transport, adm, nms)
 
 let eth_neighbours net dev i =
   Net.neighbours net dev i
@@ -49,6 +66,7 @@ type vpn = {
   chan : Mgmt.Channel.t;
   faults : Mgmt.Faults.t;
   transport : Mgmt.Reliable.t;
+  admission : Mgmt.Admission.t;
   nm : Nm.t;
   goal : Path_finder.goal;
   scope : string list;
@@ -86,12 +104,14 @@ let vpn_domain_knowledge nm =
       ]
     ~domain_prefixes:[ ("C1-S1", "10.0.1.0/24"); ("C1-S2", "10.0.2.0/24") ]
 
-let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliability ?journal () =
+let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliability ?admission
+    ?journal () =
   let tb = Testbeds.vpn () in
   let net = tb.Testbeds.vpn_net in
   let managed = [ tb.Testbeds.ra; tb.Testbeds.rb; tb.Testbeds.rc ] in
-  let chan, faults, transport, _ =
-    make_channel ?fault_seed ?reliability channel net ~devices:managed ~attach_to:tb.Testbeds.rb
+  let chan, faults, transport, admission, _ =
+    make_channel ?fault_seed ?reliability ?admission channel net ~devices:managed
+      ~attach_to:tb.Testbeds.rb
   in
   let ip_handles = ref [] in
   let setup_device dev specs =
@@ -174,6 +194,7 @@ let build_vpn ?(channel = `Oob) ?(secure = false) ?tradeoffs ?fault_seed ?reliab
     chan;
     faults;
     transport;
+    admission;
     nm;
     goal = vpn_goal ?tradeoffs ();
     scope;
@@ -201,18 +222,20 @@ type chain = {
   cchan : Mgmt.Channel.t;
   cfaults : Mgmt.Faults.t;
   ctransport : Mgmt.Reliable.t;
+  cadmission : Mgmt.Admission.t;
   cnm : Nm.t;
   cgoal : Path_finder.goal;
   cscope : string list;
 }
 
 let build_chain ?(channel = `Oob) ?(addressed = true)
-    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed ?reliability ?journal n =
+    ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed ?reliability ?admission
+    ?journal n =
   let tb = Testbeds.chain ~addressed n in
   let net = tb.Testbeds.chain_net in
   let routers = Array.to_list tb.Testbeds.routers in
-  let chan, cfaults, ctransport, _ =
-    make_channel ?fault_seed ?reliability channel net ~devices:routers
+  let chan, cfaults, ctransport, cadmission, _ =
+    make_channel ?fault_seed ?reliability ?admission channel net ~devices:routers
       ~attach_to:tb.Testbeds.routers.(0)
   in
   let module_domains = ref [] in
@@ -288,7 +311,7 @@ let build_chain ?(channel = `Oob) ?(addressed = true)
       g_scope = scope;
     }
   in
-  { ctb = tb; cchan = chan; cfaults; ctransport; cnm = nm; cgoal = goal; cscope = scope }
+  { ctb = tb; cchan = chan; cfaults; ctransport; cadmission; cnm = nm; cgoal = goal; cscope = scope }
 
 let chain_reachable c = Testbeds.chain_reachable c.ctb
 
@@ -299,18 +322,20 @@ type diamond = {
   dchan : Mgmt.Channel.t;
   dfaults : Mgmt.Faults.t;
   dtransport : Mgmt.Reliable.t;
+  dadmission : Mgmt.Admission.t;
   dnm : Nm.t;
   dgoal : Path_finder.goal;
   dscope : string list;
   dagents : (string * Agent.t) list; (* device id -> agent *)
 }
 
-let build_diamond ?(channel = `Oob) ?fault_seed ?reliability ?journal () =
+let build_diamond ?(channel = `Oob) ?fault_seed ?reliability ?admission ?journal () =
   let tb = Testbeds.diamond () in
   let net = tb.Testbeds.dia_net in
   let managed = [ tb.Testbeds.dia_a; tb.Testbeds.dia_b1; tb.Testbeds.dia_b2; tb.Testbeds.dia_c ] in
-  let chan, dfaults, dtransport, _ =
-    make_channel ?fault_seed ?reliability channel net ~devices:managed ~attach_to:tb.Testbeds.dia_a
+  let chan, dfaults, dtransport, dadmission, _ =
+    make_channel ?fault_seed ?reliability ?admission channel net ~devices:managed
+      ~attach_to:tb.Testbeds.dia_a
   in
   let module_domains = ref [] in
   let setup dev specs =
@@ -385,6 +410,7 @@ let build_diamond ?(channel = `Oob) ?fault_seed ?reliability ?journal () =
     dchan = chan;
     dfaults;
     dtransport;
+    dadmission;
     dnm = nm;
     dgoal = goal;
     dscope = scope;
@@ -430,6 +456,7 @@ type vlan = {
   vchan : Mgmt.Channel.t;
   vfaults : Mgmt.Faults.t;
   vtransport : Mgmt.Reliable.t;
+  vadmission : Mgmt.Admission.t;
   vnm : Nm.t;
   vscope : string list;
   vagents : (string * Agent.t) list;
@@ -439,7 +466,7 @@ let build_vlan ?(channel = `Oob) ?fault_seed ?reliability () =
   let tb = Testbeds.vlan () in
   let net = tb.Testbeds.vlan_net in
   let switches = [ tb.Testbeds.swa; tb.Testbeds.swb; tb.Testbeds.swc ] in
-  let chan, vfaults, vtransport, _ =
+  let chan, vfaults, vtransport, vadmission, _ =
     make_channel ?fault_seed ?reliability channel net ~devices:switches ~attach_to:tb.Testbeds.swb
   in
   let setup sw (eth_mid, vlan_mid) =
@@ -465,6 +492,7 @@ let build_vlan ?(channel = `Oob) ?fault_seed ?reliability () =
     vchan = chan;
     vfaults;
     vtransport;
+    vadmission;
     vnm = nm;
     vscope = scope;
     vagents = [ ("SwA", agent_a); ("SwB", agent_b); ("SwC", agent_c) ];
@@ -478,6 +506,7 @@ type vlan_chain = {
   vcchan : Mgmt.Channel.t;
   vcfaults : Mgmt.Faults.t;
   vctransport : Mgmt.Reliable.t;
+  vcadmission : Mgmt.Admission.t;
   vcnm : Nm.t;
   vcscope : string list;
 }
@@ -486,7 +515,7 @@ let build_vlan_chain ?(channel = `Oob) ?fault_seed ?reliability n =
   let tb = Testbeds.vlan_chain n in
   let net = tb.Testbeds.vc_net in
   let switches = Array.to_list tb.Testbeds.switches in
-  let chan, vcfaults, vctransport, _ =
+  let chan, vcfaults, vctransport, vcadmission, _ =
     make_channel ?fault_seed ?reliability channel net ~devices:switches
       ~attach_to:tb.Testbeds.switches.(0)
   in
@@ -509,6 +538,6 @@ let build_vlan_chain ?(channel = `Oob) ?fault_seed ?reliability n =
   Nm.run nm;
   let scope = List.map (fun d -> d.Device.dev_id) switches in
   Nm.harvest_potentials nm scope;
-  { vctb = tb; vcchan = chan; vcfaults; vctransport; vcnm = nm; vcscope = scope }
+  { vctb = tb; vcchan = chan; vcfaults; vctransport; vcadmission; vcnm = nm; vcscope = scope }
 
 let vlan_chain_reachable v = Testbeds.vlan_chain_reachable v.vctb

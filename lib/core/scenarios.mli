@@ -20,6 +20,7 @@ type vpn = {
   chan : Mgmt.Channel.t;
   faults : Mgmt.Faults.t; (** fault-injection handle for the channel *)
   transport : Mgmt.Reliable.t; (** reliable-delivery handle under [chan] *)
+  admission : Mgmt.Admission.t; (** overload-admission handle atop [transport] *)
   nm : Nm.t;
   goal : Path_finder.goal; (** "connect S1 and S2 of customer C1" *)
   scope : string list;
@@ -33,6 +34,7 @@ val build_vpn :
   ?tradeoffs:string list ->
   ?fault_seed:int ->
   ?reliability:Mgmt.Reliable.config ->
+  ?admission:Mgmt.Admission.config ->
   ?journal:Intent.journal ->
   unit ->
   vpn
@@ -40,9 +42,10 @@ val build_vpn :
     edge routers: ESP data modules whose "esp-keys" dependency is satisfied
     by IKE control modules (§II-F). [fault_seed] (default 42) seeds the
     fault-injection layer — a no-op until knobs on [faults] are turned;
-    [reliability] overrides {!Mgmt.Reliable.default_config}; [journal]
-    seeds the NM's intent journal (an NM restarting from stable storage).
-    All apply to the other builders below too. *)
+    [reliability] overrides {!Mgmt.Reliable.default_config}; [admission]
+    overrides {!Mgmt.Admission.default_config} (tightening the overload
+    budget); [journal] seeds the NM's intent journal (an NM restarting from
+    stable storage). All apply to the other builders below too. *)
 
 val vpn_goal : ?tradeoffs:string list -> unit -> Path_finder.goal
 
@@ -62,6 +65,7 @@ type chain = {
   cchan : Mgmt.Channel.t;
   cfaults : Mgmt.Faults.t;
   ctransport : Mgmt.Reliable.t;
+  cadmission : Mgmt.Admission.t;
   cnm : Nm.t;
   cgoal : Path_finder.goal;
   cscope : string list;
@@ -73,6 +77,7 @@ val build_chain :
   ?tradeoffs:string list ->
   ?fault_seed:int ->
   ?reliability:Mgmt.Reliable.config ->
+  ?admission:Mgmt.Admission.config ->
   ?journal:Intent.journal ->
   int ->
   chain
@@ -88,6 +93,7 @@ type diamond = {
   dchan : Mgmt.Channel.t;
   dfaults : Mgmt.Faults.t;
   dtransport : Mgmt.Reliable.t;
+  dadmission : Mgmt.Admission.t;
   dnm : Nm.t;
   dgoal : Path_finder.goal;
   dscope : string list;
@@ -98,6 +104,7 @@ val build_diamond :
   ?channel:channel_kind ->
   ?fault_seed:int ->
   ?reliability:Mgmt.Reliable.config ->
+  ?admission:Mgmt.Admission.config ->
   ?journal:Intent.journal ->
   unit ->
   diamond
@@ -121,6 +128,7 @@ type vlan = {
   vchan : Mgmt.Channel.t;
   vfaults : Mgmt.Faults.t;
   vtransport : Mgmt.Reliable.t;
+  vadmission : Mgmt.Admission.t;
   vnm : Nm.t;
   vscope : string list;
   vagents : (string * Agent.t) list;
@@ -135,6 +143,7 @@ type vlan_chain = {
   vcchan : Mgmt.Channel.t;
   vcfaults : Mgmt.Faults.t;
   vctransport : Mgmt.Reliable.t;
+  vcadmission : Mgmt.Admission.t;
   vcnm : Nm.t;
   vcscope : string list;
 }

@@ -8,17 +8,61 @@ type t = {
   nm : Nm.t;
   store : Diagnose.t;
   scope : string list;
-  period_ns : int64;
+  base_period_ns : int64;
+  max_period_ns : int64;
+  mutable period_ns : int64;
   mutable last_scrape : int64 option;
   mutable rounds : int;
+  (* graceful degradation: when the admission layer reports telemetry
+     sheds, the poller doubles its period instead of feeding the storm;
+     once sheds stop it decays back towards the base period. *)
+  mutable shed_probe : (unit -> int) option;
+  mutable last_shed : int;
+  mutable backoffs : int;
 }
 
 let create ?window ?(period_ns = 250_000_000L) ~scope nm =
-  { nm; store = Diagnose.create ?window (); scope; period_ns; last_scrape = None; rounds = 0 }
+  {
+    nm;
+    store = Diagnose.create ?window ();
+    scope;
+    base_period_ns = period_ns;
+    max_period_ns = Int64.mul period_ns 8L;
+    period_ns;
+    last_scrape = None;
+    rounds = 0;
+    shed_probe = None;
+    last_shed = 0;
+    backoffs = 0;
+  }
 
 let store t = t.store
 let rounds t = t.rounds
 let period_ns t = t.period_ns
+let backoffs t = t.backoffs
+let set_shed_probe t probe = t.shed_probe <- Some probe
+
+(* Adapt the scrape period to shed feedback: any telemetry shed since the
+   last look doubles the period (capped), a quiet interval halves it back
+   towards the base. Called on every [maybe_scrape], so the decay also
+   runs while the period gate is closed. *)
+let adapt t =
+  match t.shed_probe with
+  | None -> ()
+  | Some probe ->
+      let shed = probe () in
+      if shed > t.last_shed then begin
+        let doubled = Int64.mul t.period_ns 2L in
+        if doubled <= t.max_period_ns then begin
+          t.period_ns <- doubled;
+          t.backoffs <- t.backoffs + 1
+        end
+      end
+      else if t.period_ns > t.base_period_ns then begin
+        let halved = Int64.div t.period_ns 2L in
+        t.period_ns <- (if halved < t.base_period_ns then t.base_period_ns else halved)
+      end;
+      t.last_shed <- shed
 
 let now t = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm))
 
@@ -43,6 +87,7 @@ let scrape t =
     t.scope
 
 let maybe_scrape t =
+  adapt t;
   match t.last_scrape with
   | None -> scrape t
   | Some last -> if Int64.sub (now t) last >= t.period_ns then scrape t

@@ -9,11 +9,25 @@ type t
 
 val create : ?window:int -> ?period_ns:int64 -> scope:string list -> Nm.t -> t
 (** [window] bounds the per-series delta ring; [period_ns] (default
-    250ms) is the scrape period honoured by {!maybe_scrape}. *)
+    250ms) is the base scrape period honoured by {!maybe_scrape}. *)
 
 val store : t -> Diagnose.t
 val rounds : t -> int
+
 val period_ns : t -> int64
+(** Current scrape period — equals the base period until shed feedback
+    (see {!set_shed_probe}) backs it off. *)
+
+val set_shed_probe : t -> (unit -> int) -> unit
+(** Wires overload feedback into the poller: [probe] returns a monotonic
+    count of telemetry payloads shed or expired by the admission layer
+    (e.g. {!Mgmt.Admission.shed_total}). On every {!maybe_scrape}, growth
+    since the last look doubles the scrape period (capped at 8× base —
+    graceful degradation, the NM stops feeding the storm) and a quiet
+    interval halves it back towards the base. *)
+
+val backoffs : t -> int
+(** How many times the scrape period was doubled in response to sheds. *)
 
 val scrape : t -> unit
 (** One scrape round, now: showPerf at every device in scope; devices

@@ -249,7 +249,29 @@ let rec of_sexp sexp =
   | _ -> raise (Sexp.Parse_error "wire message")
 
 let encode t = Bytes.of_string (Sexp.to_string (to_sexp t))
-let decode b = of_sexp (Sexp.of_string (Bytes.to_string b))
+
+(* Decode must be total up to [Sexp.Parse_error]: the payload arrived off
+   the wire, and a malformed frame (fuzzed, corrupted, or from a buggy
+   peer) must surface as a parse error the caller already handles — never
+   as a Match_failure or Failure escaping from a nested codec. *)
+let decode b =
+  try of_sexp (Sexp.of_string (Bytes.to_string b)) with
+  | Sexp.Parse_error _ as e -> raise e
+  | _ -> raise (Sexp.Parse_error "undecodable wire message")
+
+(* Admission-control class of a message, 0 (never shed) to 3 (shed first).
+   The class of a fenced frame is the class of what it carries. *)
+let rec priority_of = function
+  | Ha_heartbeat _ | Nm_takeover _ -> 0
+  | Fenced { msg; _ } -> priority_of msg
+  | Bundle _ | Bundle_ack _ | Bundle_err _ | Ack _ | Set_address _ | Ha_journal _
+  | Ha_journal_ack _ | Ha_inflight _ | Ha_confirm _ ->
+      1
+  | Hello _ | Show_potential_req _ | Show_potential_resp _ | Show_actual_req _
+  | Show_actual_resp _ | Self_test_req _ | Self_test_resp _ | Completion _ | Trigger _
+  | Convey _ ->
+      2
+  | Show_perf_req _ | Show_perf_resp _ -> 3
 
 let equal a b = to_sexp a = to_sexp b
 let pp ppf t = Sexp.pp ppf (to_sexp t)

@@ -65,6 +65,17 @@ val annex_of_sexp : Sexp.t -> annex
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> t
 val encode : t -> bytes
+
 val decode : bytes -> t
+(** Raises only {!Sexp.Parse_error} on malformed input — any exception a
+    nested codec throws at a fuzzed payload is converted, so callers need
+    a single handler. *)
+
+val priority_of : t -> int
+(** Admission-control class: 0 = heartbeats/takeovers (never shed),
+    1 = scripts/back-outs/replication, 2 = probes/showState,
+    3 = telemetry showPerf (shed first). {!Fenced} frames take the class
+    of the message they carry. See {!Mgmt.Admission}. *)
+
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -1,0 +1,240 @@
+(* Overload protection for the management plane.
+
+   The layers below make the channel *reliable* (Reliable) and *hostile*
+   (Faults); this layer makes it *survivable*: when management traffic
+   exceeds what the channel should carry, the excess is shed by priority
+   instead of squeezing out the frames the control plane cannot live
+   without. Every outgoing frame is classified into one of four classes:
+
+     P0  liveness: HA heartbeats and takeover announcements. Unsheddable
+         and unthrottled — a starved failure detector fakes a dead primary.
+     P1  mutations: script bundles, back-out deletions, their acks, and
+         journal/in-flight replication. Unsheddable: shedding a back-out
+         leaks datapath state, shedding replication loses intents.
+     P2  interrogation: Hello, showPotential/showActual, self-tests,
+         conveys. Sheddable under pressure, served before P3.
+     P3  telemetry: showPerf scrapes and their responses. First to queue,
+         first to shed, and stale scrapes expire — a perf counter snapshot
+         nobody read for half a second answers a question nobody is still
+         asking.
+
+   P2/P3 admission is a per-peer token bucket on virtual time: a sender
+   may burst [bucket_capacity] frames and sustain [refill_per_s] frames
+   per second. Over-budget frames wait in bounded per-class FIFOs drained
+   highest-class-first as tokens return; at the shared queue cap the
+   strictly lowest-priority frame is shed (oldest first, so fresher
+   telemetry survives). Everything runs on the event queue's virtual
+   clock, so runs stay deterministic under the chaos engine. *)
+
+open Netsim
+
+type priority = P0 | P1 | P2 | P3
+
+let priority_index = function P0 -> 0 | P1 -> 1 | P2 -> 2 | P3 -> 3
+
+let priority_of_int n = if n <= 0 then P0 else if n = 1 then P1 else if n = 2 then P2 else P3
+
+let pp_priority ppf p = Fmt.pf ppf "P%d" (priority_index p)
+
+type config = {
+  bucket_capacity : int;  (* per-peer burst budget, frames *)
+  refill_per_s : int;  (* per-peer sustained budget, frames per virtual second *)
+  queue_capacity : int;  (* shared P2+P3 backlog bound *)
+  p3_deadline_ns : int64;  (* queued P3 frames older than this expire *)
+  drain_period_ns : int64;  (* backstop drainer period while frames wait *)
+}
+
+(* Generous enough that fault-free deployments and ordinary chaos runs
+   never notice the layer; only a storm (hundreds of frames per monitor
+   tick from one peer) trips it. *)
+let default_config =
+  {
+    bucket_capacity = 512;
+    refill_per_s = 1024;
+    queue_capacity = 128;
+    p3_deadline_ns = 400_000_000L;
+    drain_period_ns = 1_000_000L;
+  }
+
+type class_counters = {
+  mutable admitted : int;  (* frames handed to the layer below *)
+  mutable deferred : int;  (* frames that had to wait for tokens *)
+  mutable shed : int;  (* frames dropped at the queue cap *)
+  mutable expired : int;  (* P3 frames dropped on deadline *)
+  mutable queue_high_water : int;
+}
+
+let fresh_class () =
+  { admitted = 0; deferred = 0; shed = 0; expired = 0; queue_high_water = 0 }
+
+type bucket = { mutable tokens : float; mutable last_ns : int64 }
+
+type entry = { e_src : string; e_dst : string; e_bytes : bytes; e_enq_ns : int64 }
+
+type t = {
+  inner : Channel.t;
+  eq : Event_queue.t;
+  config : config;
+  classify : bytes -> priority;
+  buckets : (string, bucket) Hashtbl.t;  (* sending peer -> budget *)
+  q2 : entry Queue.t;
+  q3 : entry Queue.t;
+  classes : class_counters array;  (* indexed by priority *)
+  mutable drainer_armed : bool;
+}
+
+let counters t = t.classes
+
+let reset_counters t =
+  Array.iteri (fun i _ -> t.classes.(i) <- fresh_class ()) t.classes
+
+(* Total frames lost to shedding or expiry across the sheddable classes —
+   the load signal Telemetry watches to back its scrape period off. *)
+let shed_total t =
+  t.classes.(2).shed + t.classes.(2).expired + t.classes.(3).shed + t.classes.(3).expired
+
+let queue_depth t = Queue.length t.q2 + Queue.length t.q3
+
+let summary t =
+  let c i = t.classes.(i) in
+  Printf.sprintf
+    "adm[P0=%d P1=%d P2=%d/%d shed=%d P3=%d/%d shed=%d expired=%d hw=%d]"
+    (c 0).admitted (c 1).admitted (c 2).admitted (c 2).deferred (c 2).shed (c 3).admitted
+    (c 3).deferred (c 3).shed (c 3).expired (c 3).queue_high_water
+
+(* --- token buckets ------------------------------------------------------ *)
+
+let bucket_of t peer =
+  match Hashtbl.find_opt t.buckets peer with
+  | Some b -> b
+  | None ->
+      let b =
+        { tokens = float_of_int t.config.bucket_capacity; last_ns = Event_queue.now t.eq }
+      in
+      Hashtbl.add t.buckets peer b;
+      b
+
+let take_token t peer =
+  let b = bucket_of t peer in
+  let now = Event_queue.now t.eq in
+  let dt = Int64.to_float (Int64.sub now b.last_ns) in
+  if dt > 0.0 then begin
+    b.tokens <-
+      Float.min
+        (float_of_int t.config.bucket_capacity)
+        (b.tokens +. (dt *. float_of_int t.config.refill_per_s /. 1e9));
+    b.last_ns <- now
+  end;
+  if b.tokens >= 1.0 then begin
+    b.tokens <- b.tokens -. 1.0;
+    true
+  end
+  else false
+
+(* --- queueing and draining --------------------------------------------- *)
+
+let expire_stale t =
+  let now = Event_queue.now t.eq in
+  let rec loop () =
+    match Queue.peek_opt t.q3 with
+    | Some e when Int64.sub now e.e_enq_ns > t.config.p3_deadline_ns ->
+        ignore (Queue.pop t.q3);
+        t.classes.(3).expired <- t.classes.(3).expired + 1;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let rec serve t idx q =
+  match Queue.peek_opt q with
+  | Some e when take_token t e.e_src ->
+      ignore (Queue.pop q);
+      t.classes.(idx).admitted <- t.classes.(idx).admitted + 1;
+      Channel.send t.inner ~src:e.e_src ~dst:e.e_dst e.e_bytes;
+      serve t idx q
+  | _ -> ()
+
+let drain t =
+  expire_stale t;
+  serve t 2 t.q2;
+  serve t 3 t.q3
+
+let rec ensure_drainer t =
+  if (not t.drainer_armed) && queue_depth t > 0 then begin
+    t.drainer_armed <- true;
+    Event_queue.schedule t.eq ~delay_ns:t.config.drain_period_ns (fun () ->
+        t.drainer_armed <- false;
+        drain t;
+        ensure_drainer t)
+  end
+
+let enqueue t p ~src ~dst payload =
+  let q, idx = match p with P2 -> (t.q2, 2) | _ -> (t.q3, 3) in
+  let c = t.classes.(idx) in
+  if queue_depth t >= t.config.queue_capacity then begin
+    (* the backlog is full: make room by shedding the strictly
+       lowest-priority frame, oldest first *)
+    if not (Queue.is_empty t.q3) then begin
+      ignore (Queue.pop t.q3);
+      t.classes.(3).shed <- t.classes.(3).shed + 1
+    end
+    else if p = P2 && not (Queue.is_empty t.q2) then begin
+      ignore (Queue.pop t.q2);
+      t.classes.(2).shed <- t.classes.(2).shed + 1
+    end
+  end;
+  if queue_depth t < t.config.queue_capacity then begin
+    Queue.push { e_src = src; e_dst = dst; e_bytes = payload; e_enq_ns = Event_queue.now t.eq } q;
+    c.deferred <- c.deferred + 1;
+    let depth = Queue.length q in
+    if depth > c.queue_high_water then c.queue_high_water <- depth
+  end
+  else
+    (* an incoming P3 with nothing lower-priority to displace: the
+       newcomer itself is the shed victim *)
+    c.shed <- c.shed + 1;
+  ensure_drainer t
+
+let send t ~src ~dst payload =
+  match t.classify payload with
+  | (P0 | P1) as p ->
+      (* liveness and mutations bypass admission entirely: nothing a
+         telemetry storm does may delay a heartbeat or a back-out *)
+      t.classes.(priority_index p).admitted <- t.classes.(priority_index p).admitted + 1;
+      Channel.send t.inner ~src ~dst payload
+  | P2 ->
+      drain t;
+      if Queue.is_empty t.q2 && take_token t src then begin
+        t.classes.(2).admitted <- t.classes.(2).admitted + 1;
+        Channel.send t.inner ~src ~dst payload
+      end
+      else enqueue t P2 ~src ~dst payload
+  | P3 ->
+      drain t;
+      if queue_depth t = 0 && take_token t src then begin
+        t.classes.(3).admitted <- t.classes.(3).admitted + 1;
+        Channel.send t.inner ~src ~dst payload
+      end
+      else enqueue t P3 ~src ~dst payload
+
+let wrap ?(config = default_config) ~eq ~classify inner =
+  let t =
+    {
+      inner;
+      eq;
+      config;
+      classify;
+      buckets = Hashtbl.create 16;
+      q2 = Queue.create ();
+      q3 = Queue.create ();
+      classes = Array.init 4 (fun _ -> fresh_class ());
+      drainer_armed = false;
+    }
+  in
+  let chan =
+    Channel.make
+      ~send:(fun ~src ~dst payload -> send t ~src ~dst payload)
+      ~subscribe:(fun id h -> Channel.subscribe inner ~device_id:id h)
+      ~stats:(Channel.stats inner)
+  in
+  (chan, t)

@@ -1,0 +1,76 @@
+(** Overload protection for the management plane: priority classification,
+    per-peer token-bucket admission, bounded queues and lowest-priority-
+    first shedding.
+
+    Interposes on a management channel the same way {!Faults} and
+    {!Reliable} do, sitting {e above} {!Reliable} so that only fresh
+    application payloads are classified — acks and retransmissions of
+    already-admitted frames pass underneath.
+
+    Policy: P0 (liveness) and P1 (mutations) are unsheddable and
+    unthrottled. P2 (interrogation) and P3 (telemetry) draw from a
+    per-sending-peer token bucket; over-budget frames wait in bounded
+    per-class FIFOs drained P2-before-P3 as tokens refill, the shared
+    backlog sheds the strictly lowest-priority frame (oldest first) at the
+    cap, and queued P3 frames expire after a deadline — a stale perf
+    scrape is worthless by the next monitor tick. All timing uses the
+    event queue's virtual clock, so runs are deterministic. *)
+
+type priority = P0 | P1 | P2 | P3
+(** P0 heartbeats/takeovers, P1 scripts/back-outs/replication,
+    P2 probes/showState, P3 telemetry showPerf. *)
+
+val priority_index : priority -> int
+val priority_of_int : int -> priority
+(** Clamps: [<= 0] is {!P0}, [>= 3] is {!P3}. *)
+
+val pp_priority : priority Fmt.t
+
+type config = {
+  bucket_capacity : int;  (** per-peer burst budget, frames *)
+  refill_per_s : int;  (** per-peer sustained budget, frames per virtual second *)
+  queue_capacity : int;  (** shared bound on the queued P2+P3 backlog *)
+  p3_deadline_ns : int64;  (** queued P3 frames older than this expire *)
+  drain_period_ns : int64;  (** backstop drainer period while frames wait *)
+}
+
+val default_config : config
+(** 512-frame burst, 1024 frames/s sustained, 128-frame backlog, 400 ms P3
+    deadline, 1 ms drainer — generous enough that only storms trip it. *)
+
+type class_counters = {
+  mutable admitted : int;  (** frames handed to the layer below *)
+  mutable deferred : int;  (** frames that had to wait for tokens *)
+  mutable shed : int;  (** frames dropped at the queue cap *)
+  mutable expired : int;  (** P3 frames dropped on deadline *)
+  mutable queue_high_water : int;
+}
+
+type t
+
+val wrap :
+  ?config:config ->
+  eq:Netsim.Event_queue.t ->
+  classify:(bytes -> priority) ->
+  Channel.t ->
+  Channel.t * t
+(** [wrap ~eq ~classify chan] returns the admission-controlled channel
+    plus the control handle. [classify] maps an outgoing payload to its
+    class; it must never raise (callers pass a total function that
+    defaults undecodable payloads to {!P2}). Subscription passes through
+    untouched. The returned channel shares [chan]'s frame stats. *)
+
+val counters : t -> class_counters array
+(** Indexed by {!priority_index}; length 4. *)
+
+val reset_counters : t -> unit
+
+val shed_total : t -> int
+(** Frames lost to shedding or expiry across P2+P3 — the load-feedback
+    signal telemetry pollers watch to back off their scrape period. *)
+
+val queue_depth : t -> int
+(** Frames currently waiting for tokens. *)
+
+val summary : t -> string
+(** One-line rendering of the per-class counters. *)

@@ -42,7 +42,12 @@ let decode buf =
     let len = Cursor.u16 r in
     let payload = Cursor.take r len in
     { src_device; dst_device; seq; payload }
-  with Cursor.Truncated -> raise (Bad_frame "truncated")
+  with
+  | Cursor.Truncated -> raise (Bad_frame "truncated")
+  (* decode is total up to Bad_frame: fuzzed or corrupted buffers must
+     never leak any other exception to the channel layer *)
+  | Bad_frame _ as e -> raise e
+  | _ -> raise (Bad_frame "malformed")
 
 let equal a b =
   a.src_device = b.src_device && a.dst_device = b.dst_device && a.seq = b.seq

@@ -33,10 +33,17 @@ type config = {
   backoff : float;  (* multiplier applied per retry *)
   max_retries : int;
   gap_timeout_ns : int64;  (* how long a seq hole may stall in-order delivery *)
+  max_pending_per_dst : int;  (* in-flight unicasts tolerated per destination *)
 }
 
 let default_config =
-  { timeout_ns = 1_000_000L; backoff = 2.0; max_retries = 12; gap_timeout_ns = 50_000_000L }
+  {
+    timeout_ns = 1_000_000L;
+    backoff = 2.0;
+    max_retries = 12;
+    gap_timeout_ns = 50_000_000L;
+    max_pending_per_dst = 64;
+  }
 
 type counters = {
   mutable data_sent : int;
@@ -48,6 +55,8 @@ type counters = {
   mutable broadcasts : int;
   mutable held_back : int;  (* frames buffered awaiting a predecessor *)
   mutable gap_skips : int;  (* seq holes skipped after [gap_timeout_ns] *)
+  mutable pending_high_water : int;  (* worst per-destination in-flight depth *)
+  mutable pending_shed : int;  (* low-priority payloads abandoned at the cap *)
 }
 
 type pending = {
@@ -77,6 +86,9 @@ type t = {
   pending : (string * string * int, pending) Hashtbl.t;  (* (src, dst, seq) *)
   order : (string * string, order) Hashtbl.t;  (* (receiver, sender) *)
   mutable give_up_listeners : (src:string -> dst:string -> unit) list;
+  classify : (bytes -> int) option;
+      (* admission class of a payload (see Admission); lets the pending cap
+         pick telemetry (class 3) as its shed victims *)
 }
 
 (* --- envelope codec ---------------------------------------------------- *)
@@ -174,6 +186,43 @@ let rec arm_timer t key delay =
             arm_timer t key (retry_delay t p.p_retries)
           end)
 
+(* The pending set is otherwise unbounded under a partitioned peer: every
+   send to it parks an envelope in the retry wheel for the full backoff
+   schedule. At [max_pending_per_dst] in-flight frames to one destination,
+   abandon the oldest telemetry payload (admission class 3) owed to it —
+   the receiver's gap-skip machinery already copes with abandoned senders,
+   and by the time the peer heals a stale perf scrape answers nothing.
+   Frames of any other class are never shed here; if only those remain the
+   set is allowed to exceed the cap (at-least-once beats the bound). *)
+let enforce_pending_cap t ~src ~dst =
+  let per_dst =
+    Hashtbl.fold
+      (fun (s, d, _) _ acc -> if s = src && d = dst then acc + 1 else acc)
+      t.pending 0
+  in
+  if per_dst > t.counters.pending_high_water then t.counters.pending_high_water <- per_dst;
+  if per_dst > t.config.max_pending_per_dst then
+    match t.classify with
+    | None -> ()
+    | Some classify ->
+        let victim =
+          Hashtbl.fold
+            (fun (s, d, seq) (p : pending) acc ->
+              if s = src && d = dst then
+                match decode p.p_bytes with
+                | Some ('D', _, pl)
+                  when Bytes.length pl > 0 && (try classify pl >= 3 with _ -> false) -> (
+                    match acc with Some s0 when s0 <= seq -> acc | _ -> Some seq)
+                | _ -> acc
+              else acc)
+            t.pending None
+        in
+        (match victim with
+        | Some seq ->
+            Hashtbl.remove t.pending (src, dst, seq);
+            t.counters.pending_shed <- t.counters.pending_shed + 1
+        | None -> ())
+
 let send t ~src ~dst payload =
   if dst = Frame.broadcast then begin
     (* No single acker for a broadcast: ship once, unreliably. Callers
@@ -187,6 +236,7 @@ let send t ~src ~dst payload =
     let b = encode 'D' seq payload in
     Hashtbl.replace t.pending (src, dst, seq) { p_dst = dst; p_bytes = b; p_retries = 0 };
     t.counters.data_sent <- t.counters.data_sent + 1;
+    enforce_pending_cap t ~src ~dst;
     Channel.send t.inner ~src ~dst b;
     arm_timer t (src, dst, seq) t.config.timeout_ns
   end
@@ -224,7 +274,7 @@ let subscribe t id (h : Channel.handler) =
 
 (* --- construction ------------------------------------------------------ *)
 
-let create ?(config = default_config) ~eq inner =
+let create ?(config = default_config) ?classify ~eq inner =
   let t =
     {
       inner;
@@ -241,11 +291,14 @@ let create ?(config = default_config) ~eq inner =
           broadcasts = 0;
           held_back = 0;
           gap_skips = 0;
+          pending_high_water = 0;
+          pending_shed = 0;
         };
       next_seq = Hashtbl.create 32;
       pending = Hashtbl.create 32;
       order = Hashtbl.create 32;
       give_up_listeners = [];
+      classify;
     }
   in
   let chan =

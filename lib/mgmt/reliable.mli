@@ -24,10 +24,15 @@ type config = {
   gap_timeout_ns : int64;
       (** how long a sequence hole may stall in-order delivery before the
           receiver skips past it *)
+  max_pending_per_dst : int;
+      (** in-flight unicasts tolerated per destination before the oldest
+          telemetry payload owed to it is shed (see {!create}'s
+          [classify]); bounds the retry wheel under a partitioned peer *)
 }
 
 val default_config : config
-(** 1 ms virtual-time timeout, backoff ×2, 12 retries, 50 ms gap timeout. *)
+(** 1 ms virtual-time timeout, backoff ×2, 12 retries, 50 ms gap timeout,
+    64 in-flight frames per destination. *)
 
 type counters = {
   mutable data_sent : int;  (** distinct payloads sent (first copies) *)
@@ -39,14 +44,27 @@ type counters = {
   mutable broadcasts : int;  (** unreliable pass-through broadcasts *)
   mutable held_back : int;  (** frames buffered awaiting a predecessor *)
   mutable gap_skips : int;  (** sequence holes skipped after the gap timeout *)
+  mutable pending_high_water : int;
+      (** worst per-destination in-flight depth ever observed *)
+  mutable pending_shed : int;
+      (** telemetry payloads abandoned at [max_pending_per_dst] *)
 }
 
 type t
 
-val create : ?config:config -> eq:Netsim.Event_queue.t -> Channel.t -> Channel.t * t
+val create :
+  ?config:config -> ?classify:(bytes -> int) -> eq:Netsim.Event_queue.t -> Channel.t -> Channel.t * t
 (** [create ~eq chan] wraps [chan] (typically the output of {!Faults.wrap})
     and returns the reliable channel plus the control handle. The returned
     channel shares [chan]'s frame stats.
+
+    [classify] maps a payload to its admission class (see
+    {!Admission.priority_index}); when present, sends past
+    [max_pending_per_dst] in-flight frames to one destination abandon the
+    oldest class-3 (telemetry) payload owed to it — its retries stop, and
+    the receiver's gap-skip machinery rides over the hole if the first
+    copy was lost. Without [classify] the cap only records
+    [pending_high_water]; no payload is ever shed.
 
     Acks travel back over the same channel and are consumed by the
     sender's subscription, so an endpoint must be subscribed (even with a

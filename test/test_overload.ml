@@ -1,0 +1,419 @@
+(* Overload-protection tests: wire-priority classification, the admission
+   layer's token bucket / bounded queues / lowest-priority-first shedding,
+   Reliable's per-destination pending cap, seeded mutational fuzzing of
+   every channel codec (decode must never raise anything undeclared),
+   HA failure detection under a telemetry storm, and the telemetry
+   poller's shed-feedback backoff. *)
+
+open Conman
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- wire priority classification ---------------------------------------- *)
+
+let test_wire_priorities () =
+  let p m = Wire.priority_of m in
+  check tint "heartbeat is P0" 0 (p (Wire.Ha_heartbeat { epoch = 1; seq = 7 }));
+  check tint "takeover is P0" 0 (p (Wire.Nm_takeover { nm = "id-NM2"; epoch = 2 }));
+  check tint "fenced takes the inner class" 0
+    (p (Wire.Fenced { epoch = 2; msg = Wire.Ha_heartbeat { epoch = 2; seq = 1 } }));
+  check tint "bundle is P1" 1
+    (p (Wire.Bundle { req = 1; cmds = []; annex = Wire.empty_annex }));
+  check tint "ack is P1" 1 (p (Wire.Ack { req = 1 }));
+  check tint "journal ack is P1" 1 (p (Wire.Ha_journal_ack { epoch = 1; upto = 3 }));
+  check tint "hello is P2" 2 (p (Wire.Hello { ports = [] }));
+  check tint "showActual is P2" 2 (p (Wire.Show_actual_req { req = 4 }));
+  check tint "fenced probe is P2" 2
+    (p (Wire.Fenced { epoch = 1; msg = Wire.Show_actual_req { req = 5 } }));
+  check tint "showPerf req is P3" 3 (p (Wire.Show_perf_req { req = 6 }));
+  check tint "showPerf resp is P3" 3 (p (Wire.Show_perf_resp { req = 6; perf = [] }))
+
+(* --- admission unit tests ------------------------------------------------- *)
+
+(* A recording inner channel: sends land synchronously in [sent]. *)
+let recording () =
+  let sent = ref [] in
+  let stats =
+    { Mgmt.Channel.frames_sent = 0; frames_delivered = 0; frames_dropped = 0; seen_high_water = 0 }
+  in
+  let chan =
+    Mgmt.Channel.make
+      ~send:(fun ~src:_ ~dst payload -> sent := (dst, payload) :: !sent)
+      ~subscribe:(fun _ _ -> ())
+      ~stats
+  in
+  (chan, sent)
+
+let hb seq = Wire.encode (Wire.Ha_heartbeat { epoch = 1; seq })
+let bundle req = Wire.encode (Wire.Bundle { req; cmds = []; annex = Wire.empty_annex })
+let probe req = Wire.encode (Wire.Show_actual_req { req })
+let perf req = Wire.encode (Wire.Show_perf_req { req })
+
+let classify payload =
+  Mgmt.Admission.priority_of_int
+    (match Wire.decode payload with exception _ -> 2 | m -> Wire.priority_of m)
+
+let wrap_tight ?(bucket = 4) ?(refill = 1000) ?(queue = 8) ?(deadline = 50_000_000L) () =
+  let eq = Netsim.Event_queue.create () in
+  let inner, sent = recording () in
+  let config =
+    {
+      Mgmt.Admission.bucket_capacity = bucket;
+      refill_per_s = refill;
+      queue_capacity = queue;
+      p3_deadline_ns = deadline;
+      drain_period_ns = 1_000_000L;
+    }
+  in
+  let chan, adm = Mgmt.Admission.wrap ~config ~eq ~classify inner in
+  (eq, chan, adm, sent)
+
+let run_for eq ns =
+  ignore
+    (Netsim.Event_queue.run_until eq ~deadline:(Int64.add (Netsim.Event_queue.now eq) ns))
+
+let test_p0_bypasses_exhaustion () =
+  let _eq, chan, adm, sent = wrap_tight () in
+  (* exhaust the bucket and overflow the queue with telemetry *)
+  for i = 1 to 30 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf i)
+  done;
+  let before = List.length !sent in
+  check tint "only the burst budget passed" 4 before;
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (hb 1);
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (bundle 99);
+  check tint "P0 and P1 passed straight through the jam" (before + 2) (List.length !sent);
+  let c = Mgmt.Admission.counters adm in
+  check tint "no P0 shed" 0 c.(0).Mgmt.Admission.shed;
+  check tint "no P1 shed" 0 c.(1).Mgmt.Admission.shed;
+  check tbool "telemetry was shed" true (c.(3).Mgmt.Admission.shed > 0)
+
+let test_shed_lowest_priority_first () =
+  let _eq, chan, adm, sent = wrap_tight ~bucket:2 ~refill:0 ~queue:4 () in
+  (* two tokens, then a full queue of telemetry *)
+  for i = 1 to 6 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf i)
+  done;
+  check tint "burst budget" 2 (List.length !sent);
+  check tint "queue full" 4 (Mgmt.Admission.queue_depth adm);
+  (* probes arriving at the cap displace queued telemetry, not vice versa *)
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (probe 7);
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (probe 8);
+  let c = Mgmt.Admission.counters adm in
+  check tint "P3 shed to make room for P2" 2 c.(3).Mgmt.Admission.shed;
+  check tint "no P2 shed" 0 c.(2).Mgmt.Admission.shed;
+  check tint "queue still at cap" 4 (Mgmt.Admission.queue_depth adm)
+
+let test_refill_drains_p2_before_p3 () =
+  let eq, chan, adm, sent = wrap_tight ~bucket:1 ~refill:1000 ~queue:8 () in
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf 1);
+  (* bucket empty: these queue *)
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf 2);
+  Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (probe 3);
+  check tint "one admitted, two queued" 1 (List.length !sent);
+  (* 10 virtual ms = 10 refilled tokens: the drainer must serve the probe
+     (P2) before the older telemetry frame *)
+  run_for eq 10_000_000L;
+  check tint "queue drained" 0 (Mgmt.Admission.queue_depth adm);
+  let delivered = List.rev_map snd !sent in
+  check tint "all three delivered" 3 (List.length delivered);
+  check tbool "probe overtook the older telemetry" true
+    (List.nth delivered 1 = probe 3 && List.nth delivered 2 = perf 2)
+
+let test_p3_deadline_expiry () =
+  let eq, chan, adm, sent = wrap_tight ~bucket:2 ~refill:0 ~queue:8 ~deadline:10_000_000L () in
+  for i = 1 to 5 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf i)
+  done;
+  check tint "three queued" 3 (Mgmt.Admission.queue_depth adm);
+  (* no refill ever comes; past the deadline the stale scrapes expire *)
+  run_for eq 20_000_000L;
+  check tint "expired, not delivered" 2 (List.length !sent);
+  check tint "queue empty" 0 (Mgmt.Admission.queue_depth adm);
+  let c = Mgmt.Admission.counters adm in
+  check tint "expiry counted" 3 c.(3).Mgmt.Admission.expired;
+  check tbool "shed_total sees expiry" true (Mgmt.Admission.shed_total adm >= 3)
+
+let test_per_peer_buckets () =
+  let _eq, chan, _adm, sent = wrap_tight ~bucket:3 ~refill:0 () in
+  for i = 1 to 10 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-A" (perf i)
+  done;
+  let after_nm = List.length !sent in
+  check tint "first peer exhausted its own budget" 3 after_nm;
+  (* a different sending peer has an untouched bucket — but the shared
+     backlog is non-empty, so its fresh telemetry must queue behind it
+     rather than jump ahead *)
+  Mgmt.Channel.send chan ~src:"id-NM2" ~dst:"id-A" (perf 11);
+  check tint "second peer queued behind the backlog" after_nm (List.length !sent)
+
+(* --- Reliable: bounded pending buffers ------------------------------------ *)
+
+let test_reliable_pending_cap () =
+  let eq = Netsim.Event_queue.create () in
+  let oob = Mgmt.Channel.Oob.create eq in
+  let config = { Mgmt.Reliable.default_config with Mgmt.Reliable.max_pending_per_dst = 4 } in
+  let chan, rel =
+    Mgmt.Reliable.create ~config
+      ~classify:(fun payload ->
+        match Wire.decode payload with exception _ -> 2 | m -> Wire.priority_of m)
+      ~eq oob
+  in
+  Mgmt.Channel.subscribe chan ~device_id:"id-NM" (fun ~src:_ _ -> ());
+  (* "id-dead" never subscribes: nothing is ever acked, pending grows *)
+  for i = 1 to 10 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-dead" (perf i)
+  done;
+  let c = Mgmt.Reliable.counters rel in
+  check tint "oldest telemetry abandoned at the cap" 6 c.Mgmt.Reliable.pending_shed;
+  check tint "in-flight bounded" 4 (Mgmt.Reliable.in_flight rel);
+  check tbool "high water recorded" true (c.Mgmt.Reliable.pending_high_water >= 4);
+  (* non-telemetry frames are never shed: the cap only records them *)
+  for i = 1 to 10 do
+    Mgmt.Channel.send chan ~src:"id-NM" ~dst:"id-dead2" (probe i)
+  done;
+  let c = Mgmt.Reliable.counters rel in
+  check tint "no probe was shed" 6 c.Mgmt.Reliable.pending_shed;
+  check tint "probes all still pending" 14 (Mgmt.Reliable.in_flight rel);
+  check tbool "cap overshoot recorded" true (c.Mgmt.Reliable.pending_high_water >= 10)
+
+(* --- codec fuzzing --------------------------------------------------------- *)
+
+let wire_corpus =
+  [
+    Wire.Hello { ports = [ ("eth1", "id-B", "eth2"); ("eth2", "id-C", "eth1") ] };
+    Wire.Show_potential_req { req = 1 };
+    Wire.Show_actual_req { req = 2 };
+    Wire.Show_perf_req { req = 3 };
+    Wire.Show_perf_resp
+      { req = 3; perf = [ (Ids.v "ETH" "a" "id-A", [ ("pipe0", [ ("rx", 12) ]) ]) ] };
+    Wire.Nm_takeover { nm = "id-NM2"; epoch = 3 };
+    Wire.Ha_heartbeat { epoch = 2; seq = 17 };
+    Wire.Ha_journal_ack { epoch = 2; upto = 40 };
+    Wire.Ha_confirm { epoch = 2; req = 41 };
+    Wire.Fenced { epoch = 2; msg = Wire.Show_actual_req { req = 9 } };
+    Wire.Ack { req = 4 };
+    Wire.Bundle_ack { req = 7 };
+    Wire.Bundle_err { req = 5; error = "no such module" };
+    Wire.Set_address { req = 6; target = Ids.v "IP" "i1" "id-B1"; addr = "10.0.0.1"; plen = 24 };
+    Wire.Self_test_req { req = 8; target = Ids.v "IP" "g" "id-A"; against = None };
+    Wire.Completion { src = Ids.v "MPLS" "q" "id-C"; what = "lsp-established" };
+    Wire.Trigger { src = Ids.v "IP" "g" "id-A"; field = "up"; value = "false" };
+  ]
+
+(* Seeded mutations: truncate, bit-flip, or splice two encodings. *)
+let mutate prng pool =
+  let pick () = List.nth pool (Mgmt.Faults.Prng.below prng (List.length pool)) in
+  let b = Bytes.copy (pick ()) in
+  match Mgmt.Faults.Prng.below prng 3 with
+  | 0 -> Bytes.sub b 0 (Mgmt.Faults.Prng.below prng (Bytes.length b))
+  | 1 ->
+      let i = Mgmt.Faults.Prng.below prng (Bytes.length b) in
+      let bit = 1 lsl Mgmt.Faults.Prng.below prng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit land 0xff));
+      b
+  | _ ->
+      let o = pick () in
+      let cut = Mgmt.Faults.Prng.below prng (Bytes.length b) in
+      let cut' = Mgmt.Faults.Prng.below prng (Bytes.length o) in
+      Bytes.cat (Bytes.sub b 0 cut) (Bytes.sub o cut' (Bytes.length o - cut'))
+
+let test_fuzz_wire_decode () =
+  let prng = Mgmt.Faults.Prng.create 1234 in
+  let pool = List.map Wire.encode wire_corpus in
+  for _ = 1 to 2000 do
+    let m = mutate prng pool in
+    match Wire.decode m with
+    | _ -> ()
+    | exception Sexp.Parse_error _ -> ()
+    | exception e ->
+        Alcotest.failf "Wire.decode raised %s on %S" (Printexc.to_string e)
+          (Bytes.to_string m)
+  done
+
+let test_fuzz_frame_decode () =
+  let prng = Mgmt.Faults.Prng.create 987 in
+  let pool =
+    List.mapi
+      (fun i m ->
+        Mgmt.Frame.encode
+          { Mgmt.Frame.src_device = "id-A"; dst_device = "id-NM"; seq = i; payload = Wire.encode m })
+      wire_corpus
+  in
+  for _ = 1 to 2000 do
+    let m = mutate prng pool in
+    match Mgmt.Frame.decode m with
+    | _ -> ()
+    | exception Mgmt.Frame.Bad_frame _ -> ()
+    | exception e -> Alcotest.failf "Frame.decode raised %s" (Printexc.to_string e)
+  done
+
+let test_fuzz_schedule_decode () =
+  let prng = Mgmt.Faults.Prng.create 555 in
+  let pool =
+    List.map
+      (fun seed -> Bytes.of_string (Chaos.Schedule.to_string (Chaos.Schedule.generate ~seed ~ticks:6 ())))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  for _ = 1 to 1000 do
+    let m = Bytes.to_string (mutate prng pool) in
+    match Chaos.Schedule.of_string m with
+    | _ -> ()
+    | exception Sexp.Parse_error _ -> ()
+    | exception e -> Alcotest.failf "Schedule.of_string raised %s" (Printexc.to_string e)
+  done
+
+let test_agent_drops_malformed () =
+  let v = Scenarios.build_vpn () in
+  let agent = List.assoc "A" v.Scenarios.agents in
+  let before = Agent.malformed_drops agent in
+  Agent.handle agent ~src:"id-NM" (Bytes.of_string "((((");
+  Agent.handle agent ~src:"id-NM" (Bytes.of_string "(bundle not-an-int)");
+  Agent.handle agent ~src:"id-NM" (Bytes.of_string "");
+  check tint "three malformed frames counted, none raised" (before + 3)
+    (Agent.malformed_drops agent);
+  (* the agent still works afterwards *)
+  check tbool "agent still answers" true (Agent.modules agent <> [])
+
+(* --- HA failure detection under overload ----------------------------------- *)
+
+let tick_ns = 500_000_000L
+
+let build_pair ?fault_seed () =
+  let d = Scenarios.build_diamond ?fault_seed () in
+  let net = d.Scenarios.dtb.Netsim.Testbeds.dia_net in
+  let standby =
+    Nm.create ~transport:d.Scenarios.dtransport ~chan:d.Scenarios.dchan ~net
+      ~my_id:Scenarios.standby_station_id ()
+  in
+  let p, s = Ha.pair ~primary:d.Scenarios.dnm ~standby () in
+  (d, net, p, s)
+
+let step net p s tick =
+  ignore
+    (Netsim.Net.run_until net
+       ~deadline:(Int64.add (Netsim.Event_queue.now (Netsim.Net.eq net)) tick_ns));
+  Ha.tick p ~tick;
+  Ha.tick s ~tick
+
+let storm_burst d n =
+  for i = 1 to 800 do
+    Mgmt.Channel.send d.Scenarios.dchan ~src:Scenarios.nm_station_id
+      ~dst:(List.nth d.Scenarios.dscope (i mod List.length d.Scenarios.dscope))
+      (perf (900_000_000 + (n * 1000) + i))
+  done
+
+let test_no_spurious_failover_under_storm () =
+  let d, net, p, s = build_pair ~fault_seed:21 () in
+  (match Nm.achieve (Ha.nm p) d.Scenarios.dgoal with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "achieve: %s" e);
+  Mgmt.Admission.reset_counters d.Scenarios.dadmission;
+  for t = 0 to 5 do
+    storm_burst d t;
+    step net p s t
+  done;
+  check tint "no promotion while heartbeats ride P0" 0 (Ha.promotions s);
+  check tbool "heartbeats kept flowing through the storm" true (Ha.heartbeats_seen s > 0);
+  let c = Mgmt.Admission.counters d.Scenarios.dadmission in
+  check tbool "the storm was shed" true (c.(3).Mgmt.Admission.shed > 0);
+  check tint "no P0 frame shed" 0 (c.(0).Mgmt.Admission.shed + c.(0).Mgmt.Admission.expired);
+  check tint "no P1 frame shed" 0 (c.(1).Mgmt.Admission.shed + c.(1).Mgmt.Admission.expired);
+  check tbool "network still converged" true (Scenarios.diamond_reachable d)
+
+let test_real_crash_detected_under_storm () =
+  let d, net, p, s = build_pair ~fault_seed:22 () in
+  (match Nm.achieve (Ha.nm p) d.Scenarios.dgoal with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "achieve: %s" e);
+  for t = 0 to 2 do
+    storm_burst d t;
+    step net p s t
+  done;
+  (* the primary really dies mid-storm; detection must not be any slower
+     than the storm-free bound of the failover tests *)
+  Mgmt.Faults.crash d.Scenarios.dfaults Scenarios.nm_station_id;
+  Ha.set_alive p false;
+  let crash_tick = 3 in
+  let promoted = ref None in
+  (try
+     for t = crash_tick to crash_tick + 8 do
+       storm_burst d t;
+       step net p s t;
+       if !promoted = None && Ha.role s = Ha.Primary then begin
+         promoted := Some t;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (match !promoted with
+  | None -> Alcotest.fail "standby never promoted under the storm"
+  | Some t -> check tbool "detected within the failure-detector bound" true (t - crash_tick <= 4));
+  let c = Mgmt.Admission.counters d.Scenarios.dadmission in
+  check tint "no P0 frame shed during detection" 0
+    (c.(0).Mgmt.Admission.shed + c.(0).Mgmt.Admission.expired)
+
+(* --- telemetry shed-feedback backoff --------------------------------------- *)
+
+let test_telemetry_backoff () =
+  let d = Scenarios.build_diamond () in
+  let base = 250_000_000L in
+  let tel = Telemetry.create ~period_ns:base ~scope:[] d.Scenarios.dnm in
+  let shed = ref 0 in
+  Telemetry.set_shed_probe tel (fun () -> !shed);
+  Telemetry.maybe_scrape tel;
+  check tbool "period at base while quiet" true (Telemetry.period_ns tel = base);
+  (* sheds keep growing: the period doubles each look, capped at 8x *)
+  for _ = 1 to 6 do
+    shed := !shed + 10;
+    Telemetry.maybe_scrape tel
+  done;
+  check tbool "period backed off to the cap" true
+    (Telemetry.period_ns tel = Int64.mul base 8L);
+  check tint "three doublings to reach 8x" 3 (Telemetry.backoffs tel);
+  (* sheds stop: the period halves back down to base, never below *)
+  for _ = 1 to 6 do
+    Telemetry.maybe_scrape tel
+  done;
+  check tbool "period decayed back to base" true (Telemetry.period_ns tel = base)
+
+let () =
+  Alcotest.run "overload"
+    [
+      ( "classify",
+        [ Alcotest.test_case "wire messages map to the right class" `Quick test_wire_priorities ]
+      );
+      ( "admission",
+        [
+          Alcotest.test_case "P0/P1 bypass a jammed channel" `Quick test_p0_bypasses_exhaustion;
+          Alcotest.test_case "lowest priority is shed first" `Quick
+            test_shed_lowest_priority_first;
+          Alcotest.test_case "refill drains probes before telemetry" `Quick
+            test_refill_drains_p2_before_p3;
+          Alcotest.test_case "stale telemetry expires" `Quick test_p3_deadline_expiry;
+          Alcotest.test_case "budgets are per peer, backlog is shared" `Quick
+            test_per_peer_buckets;
+        ] );
+      ( "reliable",
+        [ Alcotest.test_case "pending buffers are bounded" `Quick test_reliable_pending_cap ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "Wire.decode never raises undeclared" `Quick test_fuzz_wire_decode;
+          Alcotest.test_case "Frame.decode never raises undeclared" `Quick
+            test_fuzz_frame_decode;
+          Alcotest.test_case "Schedule.of_string never raises undeclared" `Quick
+            test_fuzz_schedule_decode;
+          Alcotest.test_case "agents drop malformed frames" `Quick test_agent_drops_malformed;
+        ] );
+      ( "ha-under-storm",
+        [
+          Alcotest.test_case "no spurious failover" `Quick test_no_spurious_failover_under_storm;
+          Alcotest.test_case "real crash still detected" `Quick
+            test_real_crash_detected_under_storm;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "scrape period backs off on sheds" `Quick test_telemetry_backoff ]
+      );
+    ]
