@@ -821,13 +821,94 @@ let overload_datapoints () =
 
 let quick = Array.exists (fun a -> a = "--quick" || a = "quick") Sys.argv
 
+(* --- federation data points (BENCH_federation.json) ----------------------------- *)
+
+(* The acceptance soak for federated multi-NM management: 20 seeded
+   two-domain schedules, each with a forced [Peer_nm_crash] and a forced
+   [Inter_domain_partition] on top of background channel faults. The
+   headline gates: every seed converges, no stitched pipe is ever left
+   half-configured, and neither NM writes a single byte of configuration
+   outside its own domain. Quick mode shortens the schedules but keeps
+   all 20 seeds, since the CI gates require full convergence counts. *)
+let federation_datapoints () =
+  let soak_ticks = if quick then 6 else 10 in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let per_seed =
+    List.map
+      (fun seed ->
+        let sched = Chaos.Fed_engine.generate ~seed ~ticks:soak_ticks () in
+        let r = Chaos.Fed_engine.run sched in
+        let fails = List.map (fun v -> v.Chaos.Fed_engine.name) (Chaos.Fed_engine.failures r) in
+        (seed, List.length sched.Chaos.Schedule.events, r, fails))
+      seeds
+  in
+  let sum f = List.fold_left (fun acc (_, _, r, _) -> acc + f r) 0 per_seed in
+  let converged =
+    List.length
+      (List.filter (fun (_, _, r, _) -> r.Chaos.Fed_engine.converged_tick <> None) per_seed)
+  in
+  let violations = List.length (List.filter (fun (_, _, _, fails) -> fails <> []) per_seed) in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let seed_json (seed, events, (r : Chaos.Fed_engine.report), fails) =
+    Printf.sprintf
+      "    { \"seed\": %d, \"events\": %d, \"ok\": %b, \"converged\": %b, \"replans\": %d, \
+       \"backouts\": %d, \"relays\": %d, \"half_configured\": %d, \"foreign_writes\": %d, \
+       \"failed_invariants\": [%s] }"
+      seed events (fails = [])
+      (r.Chaos.Fed_engine.converged_tick <> None)
+      r.Chaos.Fed_engine.replans r.Chaos.Fed_engine.backouts r.Chaos.Fed_engine.relays
+      r.Chaos.Fed_engine.half_configured r.Chaos.Fed_engine.foreign_writes
+      (String.concat ", " (List.map (fun n -> "\"" ^ escape n ^ "\"") fails))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"soak\": {\n\
+      \    \"seeds\": %d,\n\
+      \    \"ticks\": %d,\n\
+      \    \"forced_events\": [\"peer-nm-crash\", \"inter-domain-partition\"]\n\
+      \  },\n\
+      \  \"converged\": %d,\n\
+      \  \"violations\": %d,\n\
+      \  \"half_configured_total\": %d,\n\
+      \  \"foreign_writes_total\": %d,\n\
+      \  \"backouts_total\": %d,\n\
+      \  \"relays_total\": %d,\n\
+      \  \"per_seed\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (List.length seeds) soak_ticks converged violations
+      (sum (fun r -> r.Chaos.Fed_engine.half_configured))
+      (sum (fun r -> r.Chaos.Fed_engine.foreign_writes))
+      (sum (fun r -> r.Chaos.Fed_engine.backouts))
+      (sum (fun r -> r.Chaos.Fed_engine.relays))
+      (String.concat ",\n" (List.map seed_json per_seed))
+  in
+  let oc = open_out "BENCH_federation.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== federation soak data points (BENCH_federation.json) =====";
+  print_string json
+
 let () =
   if quick then begin
     selfheal_datapoints ();
     diagnose_datapoints ();
     chaos_datapoints ();
     ha_datapoints ();
-    overload_datapoints ()
+    overload_datapoints ();
+    federation_datapoints ()
   end
   else begin
     reproductions ();
@@ -836,5 +917,6 @@ let () =
     diagnose_datapoints ();
     chaos_datapoints ();
     ha_datapoints ();
-    overload_datapoints ()
+    overload_datapoints ();
+    federation_datapoints ()
   end

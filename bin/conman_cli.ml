@@ -299,29 +299,21 @@ let diagnose_cmd =
 
 (* --- chaos --------------------------------------------------------------------- *)
 
-let chaos_seed_arg =
-  let doc = "Seed for the composite fault schedule." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+let chaos_seed_arg = Common_args.seed ~doc:"Seed for the composite fault schedule." ()
 
 let chaos_seeds_arg =
-  let doc = "Run a whole seed set (comma-separated); overrides --seed." in
-  Arg.(value & opt (some (list int)) None & info [ "seeds" ] ~docv:"NS" ~doc)
+  Common_args.seeds_opt ~doc:"Run a whole seed set (comma-separated); overrides --seed." ()
 
 let chaos_ticks_arg =
-  let doc = "Chaos-phase length in monitor ticks (default 12, or 6 with --quick)." in
-  Arg.(value & opt (some int) None & info [ "ticks" ] ~docv:"T" ~doc)
+  Common_args.ticks ~doc:"Chaos-phase length in monitor ticks (default 12, or 6 with --quick)." ()
 
 let chaos_intensity_arg =
-  let doc = "Fault events per tick of schedule." in
-  Arg.(value & opt float 0.5 & info [ "intensity" ] ~docv:"F" ~doc)
+  Common_args.intensity ~default:0.5 ~doc:"Fault events per tick of schedule." ()
 
-let chaos_quick_arg =
-  let doc = "Quick mode: shorter schedules (CI smoke)." in
-  Arg.(value & flag & info [ "quick" ] ~doc)
+let chaos_quick_arg = Common_args.quick ()
 
 let chaos_replay_arg =
-  let doc = "Replay a schedule from a sexp repro file instead of generating one." in
-  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  Common_args.replay ~doc:"Replay a schedule from a sexp repro file instead of generating one." ()
 
 let chaos_weaken_arg =
   let doc =
@@ -332,18 +324,12 @@ let chaos_weaken_arg =
        & info [ "weaken" ] ~docv:"INVARIANT" ~doc)
 
 let chaos_out_arg =
-  let doc = "Where to write the minimized repro on failure (default chaos_repro_seed<N>.sexp)." in
-  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  Common_args.out
+    ~doc:"Where to write the minimized repro on failure (default chaos_repro_seed<N>.sexp)." ()
 
 let chaos_trace_arg =
   let doc = "Print the monitor's event trace after each run (debugging a repro)." in
   Arg.(value & flag & info [ "trace" ] ~doc)
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  output_string oc "\n";
-  close_out oc
 
 let chaos seed seeds ticks intensity quick replay weaken out show_trace =
   let ticks = match ticks with Some t -> t | None -> if quick then 6 else 12 in
@@ -376,7 +362,7 @@ let chaos seed seeds ticks intensity quick replay weaken out show_trace =
           | Some p -> p
           | None -> Printf.sprintf "chaos_repro_seed%d.sexp" sched.Chaos.Schedule.seed
         in
-        write_file path (Chaos.Schedule.to_string minimized);
+        Common_args.write_file path (Chaos.Schedule.to_string minimized);
         Fmt.pr "  minimized to %d event(s) in %d runs:@."
           (List.length minimized.Chaos.Schedule.events)
           runs;
@@ -387,12 +373,7 @@ let chaos seed seeds ticks intensity quick replay weaken out show_trace =
   in
   let ok =
     match replay with
-    | Some file ->
-        let ic = open_in file in
-        let n = in_channel_length ic in
-        let contents = really_input_string ic n in
-        close_in ic;
-        run_one (Chaos.Schedule.of_string (String.trim contents))
+    | Some file -> run_one (Chaos.Schedule.of_string (Common_args.read_file file))
     | None ->
         let seed_list = match seeds with Some ss -> ss | None -> [ seed ] in
         List.fold_left
@@ -418,15 +399,13 @@ let chaos_cmd =
 (* --- ha ------------------------------------------------------------------------ *)
 
 let ha_seed_arg =
-  let doc =
-    "Also run a seeded composite fault schedule (the chaos generator) on top of the \
-     handcrafted failover scenarios."
-  in
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  Common_args.seed_opt
+    ~doc:
+      "Also run a seeded composite fault schedule (the chaos generator) on top of the \
+       handcrafted failover scenarios."
+    ()
 
-let ha_quick_arg =
-  let doc = "Quick mode: shorter chaos phases (CI smoke)." in
-  Arg.(value & flag & info [ "quick" ] ~doc)
+let ha_quick_arg = Common_args.quick ~doc:"Quick mode: shorter chaos phases (CI smoke)." ()
 
 let ha seed quick =
   let ticks = if quick then 6 else 10 in
@@ -492,20 +471,17 @@ let ha_cmd =
 (* --- overload ------------------------------------------------------------------ *)
 
 let ov_seeds_arg =
-  let doc = "Seed set for the storm soak (comma-separated)." in
-  Arg.(value & opt (list int) [ 1; 2; 3; 4; 5 ] & info [ "seeds" ] ~docv:"NS" ~doc)
+  Common_args.seeds ~default:[ 1; 2; 3; 4; 5 ] ~doc:"Seed set for the storm soak (comma-separated)." ()
 
 let ov_ticks_arg =
-  let doc = "Chaos-phase length in monitor ticks (default 10, or 6 with --quick)." in
-  Arg.(value & opt (some int) None & info [ "ticks" ] ~docv:"T" ~doc)
+  Common_args.ticks
+    ~doc:"Chaos-phase length in monitor ticks (default 10, or 6 with --quick)." ()
 
 let ov_intensity_arg =
-  let doc = "Storm intensity in [0,1] for the Overload event forced into every schedule." in
-  Arg.(value & opt float 0.6 & info [ "intensity" ] ~docv:"F" ~doc)
+  Common_args.intensity ~default:0.6
+    ~doc:"Storm intensity in [0,1] for the Overload event forced into every schedule." ()
 
-let ov_quick_arg =
-  let doc = "Quick mode: shorter schedules (CI smoke)." in
-  Arg.(value & flag & info [ "quick" ] ~doc)
+let ov_quick_arg = Common_args.quick ()
 
 let overload seeds ticks intensity quick =
   let ticks = match ticks with Some t -> t | None -> if quick then 6 else 10 in
@@ -562,6 +538,103 @@ let overload_cmd =
           shed and backs off, no spurious failovers, and every schedule still converges")
     Term.(const overload $ ov_seeds_arg $ ov_ticks_arg $ ov_intensity_arg $ ov_quick_arg)
 
+(* --- federation ---------------------------------------------------------------- *)
+
+let fed_seeds_arg =
+  Common_args.seeds
+    ~default:(List.init 20 (fun i -> i + 1))
+    ~doc:"Seed set for the two-domain soak (comma-separated)." ()
+
+let fed_ticks_arg =
+  Common_args.ticks ~doc:"Chaos-phase length in ticks (default 10, or 6 with --quick)." ()
+
+let fed_intensity_arg =
+  Common_args.intensity ~default:0.5
+    ~doc:"Background channel-fault events per tick (the NM crash and partition are always forced)."
+    ()
+
+let fed_quick_arg = Common_args.quick ()
+
+let fed_replay_arg =
+  Common_args.replay ~doc:"Replay a schedule from a sexp repro file instead of generating one." ()
+
+let fed_out_arg =
+  Common_args.out
+    ~doc:"Where to write the minimized repro on failure (default fed_repro_seed<N>.sexp)." ()
+
+let federation seeds ticks intensity quick replay out =
+  let ticks = match ticks with Some t -> t | None -> if quick then 6 else 10 in
+  let seeds = if quick then List.filteri (fun i _ -> i < 5) seeds else seeds in
+  let run_one sched =
+    let r = Chaos.Fed_engine.run sched in
+    let fails = Chaos.Fed_engine.failures r in
+    Fmt.pr "  %-6d %-6s %8d %8d %6d %7d %7d  %s@." sched.Chaos.Schedule.seed
+      (if fails = [] then "ok" else "FAIL")
+      r.Chaos.Fed_engine.replans r.Chaos.Fed_engine.backouts r.Chaos.Fed_engine.relays
+      r.Chaos.Fed_engine.half_configured r.Chaos.Fed_engine.foreign_writes
+      (match r.Chaos.Fed_engine.converged_tick with
+      | Some t -> Printf.sprintf "tail+%d" t
+      | None -> "NO");
+    List.iter (fun v -> Fmt.pr "      %a@." Chaos.Fed_engine.pp_verdict v) fails;
+    match fails with
+    | [] -> true
+    | fails ->
+        let names = List.map (fun (v : Chaos.Fed_engine.verdict) -> v.Chaos.Fed_engine.name) fails in
+        Fmt.pr "  shrinking the failure...@.";
+        let failing s =
+          let names' =
+            List.map
+              (fun (v : Chaos.Fed_engine.verdict) -> v.Chaos.Fed_engine.name)
+              (Chaos.Fed_engine.failures (Chaos.Fed_engine.run s))
+          in
+          List.exists (fun n -> List.mem n names') names
+        in
+        let { Chaos.Shrink.minimized; runs } = Chaos.Shrink.minimize ~failing sched in
+        let path =
+          match out with
+          | Some p -> p
+          | None -> Printf.sprintf "fed_repro_seed%d.sexp" sched.Chaos.Schedule.seed
+        in
+        Common_args.write_file path (Chaos.Schedule.to_string minimized);
+        Fmt.pr "  minimized to %d event(s) in %d runs:@."
+          (List.length minimized.Chaos.Schedule.events)
+          runs;
+        Fmt.pr "%a" Chaos.Schedule.pp minimized;
+        Fmt.pr "  repro written to %s (re-run with: conman federation --replay %s)@." path path;
+        false
+  in
+  let ok =
+    match replay with
+    | Some file ->
+        Fmt.pr "  %-6s %-6s %s@." "seed" "result" "replans backouts relays half-cfg foreign  converged";
+        run_one (Chaos.Schedule.of_string (Common_args.read_file file))
+    | None ->
+        Fmt.pr "federated two-domain soak (%d seeds, %d ticks, NM crash + partition forced):@."
+          (List.length seeds) ticks;
+        Fmt.pr "  %-6s %-6s %s@." "seed" "result" "replans backouts relays half-cfg foreign  converged";
+        List.fold_left
+          (fun acc s -> run_one (Chaos.Fed_engine.generate ~intensity ~seed:s ~ticks ()) && acc)
+          true seeds
+  in
+  if ok then Fmt.pr "verdict: all federation invariants held@."
+  else begin
+    Fmt.pr "verdict: federation invariant violated@.";
+    exit 1
+  end
+
+let federation_cmd =
+  Cmd.v
+    (Cmd.info "federation"
+       ~doc:
+         "Run the federated two-domain chaos soak: each seeded schedule forces a peer-NM crash \
+          and an inter-domain partition while a cross-domain goal is being achieved, and checks \
+          that the goal converges, no stitched pipe is left half-configured after a back-out, \
+          neither NM writes outside its domain, and the final configuration matches a single-NM \
+          run; on violation, shrink to a minimized sexp repro")
+    Term.(
+      const federation $ fed_seeds_arg $ fed_ticks_arg $ fed_intensity_arg $ fed_quick_arg
+      $ fed_replay_arg $ fed_out_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -574,5 +647,5 @@ let () =
        (Cmd.group info
           [
             repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd;
-            ha_cmd; overload_cmd;
+            ha_cmd; overload_cmd; federation_cmd;
           ]))

@@ -369,6 +369,10 @@ let run ?(config = default_config) (sched : Schedule.t) =
     | Schedule.Overload { intensity; ticks } ->
         storm := Some intensity;
         until ticks (fun () -> storm := None)
+    | Schedule.Peer_nm_crash _ | Schedule.Inter_domain_partition _ ->
+        (* federation-only events; Fed_engine applies them over the
+           two-domain deployment *)
+        ()
   in
   (* one engine tick: both HA nodes heartbeat/detect, then whoever leads
      reconciles. With no live leader the clock still advances a full

@@ -40,6 +40,15 @@ type fault =
       (* management-plane storm: a burst of low-priority telemetry
          requests floods the channel every tick for [ticks] ticks; the
          admission layer must shed it without touching P0/P1 traffic *)
+  | Peer_nm_crash of { domain : string; ticks : int }
+      (* federation: one domain's NM station crashes for [ticks] ticks
+         (process down, state intact — a warm restart); the inter-NM
+         two-phase commit must ride it out or back out cleanly. Only the
+         federated engine applies it; [generate] never emits it. *)
+  | Inter_domain_partition of { ticks : int }
+      (* federation: the two NM stations lose each other while both keep
+         reaching their own agents — commits and aborts stall until the
+         retransmission discipline delivers them after the heal *)
 
 type event = { at : int; fault : fault }
 type t = { seed : int; ticks : int; tail : int; events : event list }
@@ -68,6 +77,8 @@ let pp_fault ppf = function
   | Standby_crash { ticks } -> Fmt.pf ppf "standby NM crash for %d ticks" ticks
   | Overload { intensity; ticks } ->
       Fmt.pf ppf "mgmt overload %.2f for %d ticks (telemetry storm)" intensity ticks
+  | Peer_nm_crash { domain; ticks } -> Fmt.pf ppf "%s NM crash for %d ticks" domain ticks
+  | Inter_domain_partition { ticks } -> Fmt.pf ppf "inter-domain NM partition for %d ticks" ticks
 
 let pp_event ppf e = Fmt.pf ppf "@t=%d %a" e.at pp_fault e.fault
 
@@ -208,6 +219,10 @@ let fault_to_sexp = function
   | Standby_crash { ticks } -> Sexp.list [ Sexp.atom "standby-crash"; Sexp.of_int ticks ]
   | Overload { intensity; ticks } ->
       Sexp.list [ Sexp.atom "overload"; fl intensity; Sexp.of_int ticks ]
+  | Peer_nm_crash { domain; ticks } ->
+      Sexp.list [ Sexp.atom "peer-nm-crash"; Sexp.atom domain; Sexp.of_int ticks ]
+  | Inter_domain_partition { ticks } ->
+      Sexp.list [ Sexp.atom "inter-domain-partition"; Sexp.of_int ticks ]
 
 let fault_of_sexp s =
   match Sexp.to_list s with
@@ -240,6 +255,10 @@ let fault_of_sexp s =
   | [ Sexp.Atom "standby-crash"; ticks ] -> Standby_crash { ticks = Sexp.to_int ticks }
   | [ Sexp.Atom "overload"; intensity; ticks ] ->
       Overload { intensity = to_fl intensity; ticks = Sexp.to_int ticks }
+  | [ Sexp.Atom "peer-nm-crash"; domain; ticks ] ->
+      Peer_nm_crash { domain = Sexp.to_atom domain; ticks = Sexp.to_int ticks }
+  | [ Sexp.Atom "inter-domain-partition"; ticks ] ->
+      Inter_domain_partition { ticks = Sexp.to_int ticks }
   | _ -> raise (Sexp.Parse_error "chaos fault")
 
 let to_sexp t =

@@ -35,6 +35,13 @@ type fault =
           requests ([intensity] scales the per-tick burst size) floods the
           channel for [ticks] ticks; the {!Mgmt.Admission} layer must shed
           it without delaying heartbeats or repair scripts *)
+  | Peer_nm_crash of { domain : string; ticks : int }
+      (** federation: one domain's NM station crashes for [ticks] ticks
+          (process down, state intact). Applied by {!Fed_engine} only;
+          {!generate} never emits it. *)
+  | Inter_domain_partition of { ticks : int }
+      (** federation: the NM stations lose each other while both keep
+          reaching their own agents. Applied by {!Fed_engine} only. *)
 
 type event = { at : int  (** monitor tick the fault strikes at *); fault : fault }
 

@@ -32,6 +32,10 @@ let weaken_fault (f : Schedule.fault) =
       Some (Schedule.Mgmt_partition { dev; ticks = half ticks })
   | Schedule.Agent_crash { dev; ticks } when ticks > 1 ->
       Some (Schedule.Agent_crash { dev; ticks = half ticks })
+  | Schedule.Peer_nm_crash { domain; ticks } when ticks > 1 ->
+      Some (Schedule.Peer_nm_crash { domain; ticks = half ticks })
+  | Schedule.Inter_domain_partition { ticks } when ticks > 1 ->
+      Some (Schedule.Inter_domain_partition { ticks = half ticks })
   | _ -> None
 
 type result = { minimized : Schedule.t; runs : int }

@@ -240,7 +240,9 @@ and dispatch t ~src msg =
   | Wire.Hello _ | Wire.Show_potential_resp _ | Wire.Show_actual_resp _ | Wire.Show_perf_resp _
   | Wire.Bundle_ack _ | Wire.Ack _ | Wire.Bundle_err _ | Wire.Self_test_resp _ | Wire.Completion _
   | Wire.Trigger _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _ | Wire.Ha_journal_ack _
-  | Wire.Ha_inflight _ | Wire.Ha_confirm _ ->
+  | Wire.Ha_inflight _ | Wire.Ha_confirm _ | Wire.Fed_advert _ | Wire.Fed_plan_req _
+  | Wire.Fed_plan_resp _ | Wire.Fed_plan_err _ | Wire.Fed_commit _ | Wire.Fed_commit_ack _
+  | Wire.Fed_commit_err _ | Wire.Fed_abort _ | Wire.Fed_abort_ack _ | Wire.Fed_relay _ ->
       (* NM-bound (or NM-to-NM) messages; not meaningful at an agent *)
       ()
 

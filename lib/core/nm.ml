@@ -50,6 +50,18 @@ type t = {
   mutable ha_hook : (src:string -> Wire.t -> unit) option;
       (* receives NM-to-NM HA traffic (heartbeats, journal shipping) and
          takeover announcements — installed by Ha *)
+  mutable fed_hook : (src:string -> Wire.t -> unit) option;
+      (* receives NM-to-NM federation traffic (adverts, delegated plans,
+         two-phase commits, relays) — installed by Fed *)
+  mutable convey_relay : (src:Ids.t -> dst:Ids.t -> Peer_msg.t -> unit) option;
+      (* invoked instead of direct delivery when a conveyMessage targets a
+         module on a device outside this NM's domain *)
+  mutable owned_devices : string list option;
+      (* None = single-NM legacy mode, the NM owns everything it sees;
+         Some l = federated mode, the NM's administrative domain *)
+  mutable foreign_writes : int;
+      (* state-changing requests sent to devices outside the owned set —
+         the federation invariant demands this stays 0 *)
   mutable on_inflight_add : (int * string * Wire.t -> unit) option;
       (* fired when a state-changing request enters the in-flight set —
          Ha ships the delta to the standby *)
@@ -67,9 +79,15 @@ let send t ~dst msg =
   t.stats.sent <- t.stats.sent + 1;
   Mgmt.Channel.send t.chan ~src:t.my_id ~dst (encode_out t msg)
 
+(* Does this NM's administrative domain cover [dev]? Unset = legacy
+   single-NM mode: everything is ours. *)
+let owns t dev =
+  match t.owned_devices with None -> true | Some l -> dev = t.my_id || List.mem dev l
+
 (* Sends a state-changing request and remembers it until the agent
    confirms (Bundle_ack / Ack / Bundle_err). *)
 let send_req t ~dst ~req msg =
+  if not (owns t dst) then t.foreign_writes <- t.foreign_writes + 1;
   t.inflight <- (req, dst, msg) :: t.inflight;
   (match t.on_inflight_add with Some f -> f (req, dst, msg) | None -> ());
   send t ~dst msg
@@ -158,6 +176,11 @@ and handle_msg t ~src msg =
   | Wire.Ha_confirm _ | Wire.Nm_takeover _ -> (
       (* HA traffic stays out of the Table-VI message accounting *)
       match t.ha_hook with Some f -> f ~src msg | None -> ())
+  | Wire.Fed_advert _ | Wire.Fed_plan_req _ | Wire.Fed_plan_resp _ | Wire.Fed_plan_err _
+  | Wire.Fed_commit _ | Wire.Fed_commit_ack _ | Wire.Fed_commit_err _ | Wire.Fed_abort _
+  | Wire.Fed_abort_ack _ | Wire.Fed_relay _ -> (
+      (* inter-NM federation traffic likewise stays out of the accounting *)
+      match t.fed_hook with Some f -> f ~src msg | None -> ())
   | _ -> (
       (* Any message from a known device is proof of liveness: if the
          transport had given up on it (marking it unreachable) but the
@@ -219,10 +242,14 @@ and handle_msg t ~src msg =
       | Wire.Show_perf_resp { req; perf } ->
           t.perfs <- (req, perf) :: t.perfs;
           t.outstanding <- List.filter (( <> ) req) t.outstanding
-      | Wire.Convey { src = msrc; dst; payload } ->
-          (* the NM relays module-to-module messages (conveyMessage) *)
+      | Wire.Convey { src = msrc; dst; payload } -> (
+          (* the NM relays module-to-module messages (conveyMessage); a
+             destination outside our domain is handed to the federation
+             layer, which forwards it to the owning NM *)
           t.convey_log <- (msrc, dst, payload) :: t.convey_log;
-          send t ~dst:dst.Ids.dev (Wire.Convey { src = msrc; dst; payload })
+          match t.convey_relay with
+          | Some relay when not (owns t dst.Ids.dev) -> relay ~src:msrc ~dst payload
+          | _ -> send t ~dst:dst.Ids.dev (Wire.Convey { src = msrc; dst; payload }))
       | Wire.Completion { src = m; what } -> t.completions <- (m, what) :: t.completions
       | Wire.Bundle_err { req; error } ->
           (* the request reached the device; it failed rather than vanished *)
@@ -241,7 +268,10 @@ and handle_msg t ~src msg =
       | Wire.Self_test_req _ | Wire.Set_address _
       (* consumed by the outer match; listed for exhaustiveness *)
       | Wire.Nm_takeover _ | Wire.Fenced _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _
-      | Wire.Ha_journal_ack _ | Wire.Ha_inflight _ | Wire.Ha_confirm _ ->
+      | Wire.Ha_journal_ack _ | Wire.Ha_inflight _ | Wire.Ha_confirm _ | Wire.Fed_advert _
+      | Wire.Fed_plan_req _ | Wire.Fed_plan_resp _ | Wire.Fed_plan_err _ | Wire.Fed_commit _
+      | Wire.Fed_commit_ack _ | Wire.Fed_commit_err _ | Wire.Fed_abort _ | Wire.Fed_abort_ack _
+      | Wire.Fed_relay _ ->
         ())
 
 and create ?transport ?journal ~chan ~net ~my_id () =
@@ -279,6 +309,10 @@ and create ?transport ?journal ~chan ~net ~my_id () =
       horizon = None;
       epoch = 0;
       ha_hook = None;
+      fed_hook = None;
+      convey_relay = None;
+      owned_devices = None;
+      foreign_writes = 0;
       on_inflight_add = None;
       on_confirm = None;
     }
@@ -1032,3 +1066,32 @@ let apply_replicated_entry t entry =
 let inflight t = t.inflight
 let set_inflight t l = t.inflight <- l
 let bump_req t r = t.req <- max t.req r
+
+(* --- federation support (used by Fed) ------------------------------------------ *)
+
+let set_fed_hook t f = t.fed_hook <- Some f
+let set_convey_relay t f = t.convey_relay <- Some f
+let set_owned_devices t l = t.owned_devices <- Some l
+let foreign_writes t = t.foreign_writes
+
+(* Ships a ready-made script (a delegated slice of a federated goal, or
+   the coordinator's own segment) and starts maintaining it. Deliberately
+   does NOT run the network: the federation layer calls this from inside
+   delivery callbacks, where the event loop is already executing — the
+   bundles go out as the caller's drive advances the network. *)
+let run_script t (script : Script_gen.script) =
+  t.active_scripts <- script :: t.active_scripts;
+  send_script t script
+
+(* Is any of [script]'s bundles still awaiting confirmation? Uses the same
+   slice-matching predicate as [cancel_unconfirmed]. *)
+let script_pending t (script : Script_gen.script) =
+  List.exists
+    (fun (_, dst, msg) ->
+      match msg with
+      | Wire.Bundle { cmds; _ } ->
+          List.exists
+            (fun (dev, prims) -> dev = dst && prims <> [] && cmds = prims)
+            script.Script_gen.per_device
+      | _ -> false)
+    t.inflight

@@ -224,6 +224,42 @@ val set_inflight : t -> (int * string * Wire.t) list -> unit
 val bump_req : t -> int -> unit
 (** Raises the request-id counter to at least the given value. *)
 
+(** {2 Federation support (used by {!Fed} in [lib/federation])} *)
+
+val set_fed_hook : t -> (src:string -> Wire.t -> unit) -> unit
+(** Routes received inter-NM federation traffic ([Fed_*]) to the hook
+    instead of the normal dispatch (and outside Table-VI stats). *)
+
+val set_convey_relay : t -> (src:Ids.t -> dst:Ids.t -> Peer_msg.t -> unit) -> unit
+(** Called instead of direct delivery when a conveyMessage targets a module
+    on a device outside the owned set — the federation layer forwards it to
+    the owning NM. *)
+
+val set_owned_devices : t -> string list -> unit
+(** Declares the NM's administrative domain. Once set, a state-changing
+    request to any device outside the set bumps {!foreign_writes}, and
+    conveys to foreign modules go through the relay hook. Unset (the
+    default), the NM is in single-NM legacy mode and owns everything. *)
+
+val foreign_writes : t -> int
+(** State-changing requests sent to devices outside the owned set since
+    creation. The federation invariant is that this stays 0: an NM must
+    never write configuration into another domain's devices. *)
+
+val run_script : t -> Script_gen.script -> unit
+(** Ships a ready-made script (a delegated slice of a federated goal) and
+    starts maintaining it like any script from {!achieve}. Does not run
+    the network — safe to call from inside delivery callbacks; the
+    caller's drive delivers the bundles. *)
+
+val script_pending : t -> Script_gen.script -> bool
+(** Whether any of the script's bundles is still awaiting confirmation. *)
+
+val abort_script : t -> Script_gen.script -> unit
+(** Backs a partially-applied script out of the devices that still answer
+    (unreachable ones are owed the deletions and settled on recovery) and
+    stops maintaining it. *)
+
 (** {1 Observation} *)
 
 val reset_stats : t -> unit

@@ -51,13 +51,20 @@ let to_sexp =
 
 let of_sexp =
   let s = Sexp.to_atom in
+  (* Like every wire codec, parsing must be total up to [Sexp.Parse_error]:
+     a corrupted key atom may not escape as a bare [Failure]. *)
+  let int32 sexp =
+    match Int32.of_string_opt (s sexp) with
+    | Some v -> v
+    | None -> raise (Sexp.Parse_error "int32")
+  in
   function
   | Sexp.List [ Sexp.Atom "gre-params"; pipe; ikey; okey; seq; csum ] ->
       Gre_params
         {
           pipe = s pipe;
-          ikey = Int32.of_string (s ikey);
-          okey = Int32.of_string (s okey);
+          ikey = int32 ikey;
+          okey = int32 okey;
           use_seq = Sexp.to_bool seq;
           use_csum = Sexp.to_bool csum;
         }

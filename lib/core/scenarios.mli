@@ -13,6 +13,28 @@ type channel_kind = [ `Oob | `Raw ]
 (** Pre-configured out-of-band channel, or the 4D-style raw in-band
     flooding channel (§III-A). *)
 
+val make_channel :
+  ?fault_seed:int ->
+  ?reliability:Mgmt.Reliable.config ->
+  ?admission:Mgmt.Admission.config ->
+  channel_kind ->
+  Netsim.Net.t ->
+  devices:Netsim.Device.t list ->
+  attach_to:Netsim.Device.t ->
+  Mgmt.Channel.t * Mgmt.Faults.t * Mgmt.Reliable.t * Mgmt.Admission.t * Netsim.Device.t option
+(** The full management-channel stack (base, faults, reliable delivery,
+    overload admission) every builder here uses — exported so other
+    deployment builders (e.g. the federated two-domain one) wire the same
+    stack. For [`Raw] a management-station device is created and cabled to
+    [attach_to]; [`Oob] ignores [devices]/[attach_to]. *)
+
+val eth_neighbours : Netsim.Net.t -> Netsim.Device.t -> int -> (string * string) list
+(** Physical neighbours of a device's port, as (device id, peer port name)
+    — the shape {!Eth_module.make} wants for Hello reporting. *)
+
+val mref : string -> string -> Netsim.Device.t -> Ids.t
+(** [mref name short dev] is the module reference [name:short\@dev]. *)
+
 (** {1 Figure 4: the VPN testbed} *)
 
 type vpn = {

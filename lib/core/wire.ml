@@ -53,6 +53,49 @@ type t =
   | Trigger of { src : Ids.t; field : string; value : string }
   (* module -> NM -> module *)
   | Convey of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
+  (* NM <-> NM federation (lib/federation): each NM owns one administrative
+     domain; cross-domain goals are planned by the goal's home NM and
+     executed by delegation. Adverts export only border modules plus an
+     abridged reachability summary — never the raw internal topology. *)
+  | Fed_advert of {
+      domain : string; (* administrative domain name *)
+      nm : string; (* station id of the owning NM *)
+      borders : Ids.t list; (* border modules facing other domains *)
+      summary : (string * int) list; (* customer domain -> reachable-module count *)
+      devices : string list; (* device ids the NM owns (for relay routing) *)
+    }
+  (* coordinator -> peer: expand the peer's segment of a goal — the walk
+     from [entry_dev] (the peer's border device) towards [target] *)
+  | Fed_plan_req of { req : int; domain : string; entry_dev : string; target : Ids.t }
+  (* peer -> coordinator: the scoped expansion — per device on the segment,
+     its links and module abstractions, plus the address knowledge needed
+     to plan over them *)
+  | Fed_plan_resp of {
+      req : int;
+      devices : (string * (string * string * string) list * (Ids.t * Abstraction.t) list) list;
+      module_domains : (Ids.t * string) list;
+      prefixes : (string * string) list;
+    }
+  | Fed_plan_err of { req : int; error : string }
+  (* two-phase stitched execution: the coordinator ships each peer its
+     per-device slices of the one global script; the peer acks only once
+     every slice is confirmed by its devices. [domain] names the
+     coordinator so (domain, gid) is unique across coordinators. *)
+  | Fed_commit of {
+      domain : string;
+      gid : int;
+      slices : (string * Primitive.t list) list;
+      reporter : Ids.t option;
+    }
+  | Fed_commit_ack of { gid : int }
+  | Fed_commit_err of { gid : int; error : string }
+  (* distributed back-out: every participant dismantles its slices, so no
+     domain is left half-configured when a segment fails *)
+  | Fed_abort of { domain : string; gid : int }
+  | Fed_abort_ack of { gid : int }
+  (* cross-domain conveyMessage: the NM owning the source module forwards
+     the opaque payload to the NM owning the destination module *)
+  | Fed_relay of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
 
 let annex_to_sexp a =
   Sexp.List
@@ -150,6 +193,56 @@ let rec to_sexp msg =
   | Trigger { src; field; value } -> Sexp.List [ a "trigger"; Sexp.of_mref src; a field; a value ]
   | Convey { src; dst; payload } ->
       Sexp.List [ a "convey"; Sexp.of_mref src; Sexp.of_mref dst; Peer_msg.to_sexp payload ]
+  | Fed_advert { domain; nm; borders; summary; devices } ->
+      Sexp.List
+        [
+          a "fed-advert";
+          a domain;
+          a nm;
+          Sexp.List (List.map Sexp.of_mref borders);
+          Sexp.List (List.map (Sexp.of_pair a Sexp.of_int) summary);
+          Sexp.List (List.map a devices);
+        ]
+  | Fed_plan_req { req; domain; entry_dev; target } ->
+      Sexp.List [ a "fed-plan"; Sexp.of_int req; a domain; a entry_dev; Sexp.of_mref target ]
+  | Fed_plan_resp { req; devices; module_domains; prefixes } ->
+      Sexp.List
+        [
+          a "fed-plan-resp";
+          Sexp.of_int req;
+          Sexp.List
+            (List.map
+               (fun (dev, links, mods) ->
+                 Sexp.List
+                   [
+                     a dev;
+                     Sexp.List (List.map (fun (p, d, pp) -> Sexp.List [ a p; a d; a pp ]) links);
+                     Sexp.List
+                       (List.map (fun (m, ab) -> Sexp.List [ Sexp.of_mref m; Abstraction.to_sexp ab ]) mods);
+                   ])
+               devices);
+          Sexp.List (List.map (Sexp.of_pair Sexp.of_mref a) module_domains);
+          Sexp.List (List.map (Sexp.of_pair a a) prefixes);
+        ]
+  | Fed_plan_err { req; error } -> Sexp.List [ a "fed-plan-err"; Sexp.of_int req; a error ]
+  | Fed_commit { domain; gid; slices; reporter } ->
+      Sexp.List
+        [
+          a "fed-commit";
+          a domain;
+          Sexp.of_int gid;
+          Sexp.List
+            (List.map
+               (fun (dev, prims) -> Sexp.List [ a dev; Sexp.List (List.map Primitive.to_sexp prims) ])
+               slices);
+          Sexp.of_option Sexp.of_mref reporter;
+        ]
+  | Fed_commit_ack { gid } -> Sexp.List [ a "fed-commit-ack"; Sexp.of_int gid ]
+  | Fed_commit_err { gid; error } -> Sexp.List [ a "fed-commit-err"; Sexp.of_int gid; a error ]
+  | Fed_abort { domain; gid } -> Sexp.List [ a "fed-abort"; a domain; Sexp.of_int gid ]
+  | Fed_abort_ack { gid } -> Sexp.List [ a "fed-abort-ack"; Sexp.of_int gid ]
+  | Fed_relay { src; dst; payload } ->
+      Sexp.List [ a "fed-relay"; Sexp.of_mref src; Sexp.of_mref dst; Peer_msg.to_sexp payload ]
 
 let rec of_sexp sexp =
   let s = Sexp.to_atom in
@@ -246,6 +339,65 @@ let rec of_sexp sexp =
       Trigger { src = Sexp.to_mref src; field = s f; value = s v }
   | Sexp.List [ Sexp.Atom "convey"; src; dst; p ] ->
       Convey { src = Sexp.to_mref src; dst = Sexp.to_mref dst; payload = Peer_msg.of_sexp p }
+  | Sexp.List [ Sexp.Atom "fed-advert"; domain; nm; Sexp.List borders; Sexp.List summary; Sexp.List devices ] ->
+      Fed_advert
+        {
+          domain = s domain;
+          nm = s nm;
+          borders = List.map Sexp.to_mref borders;
+          summary = List.map (Sexp.to_pair s Sexp.to_int) summary;
+          devices = List.map s devices;
+        }
+  | Sexp.List [ Sexp.Atom "fed-plan"; req; domain; entry; target ] ->
+      Fed_plan_req
+        { req = Sexp.to_int req; domain = s domain; entry_dev = s entry; target = Sexp.to_mref target }
+  | Sexp.List [ Sexp.Atom "fed-plan-resp"; req; Sexp.List devices; Sexp.List md; Sexp.List pfx ] ->
+      Fed_plan_resp
+        {
+          req = Sexp.to_int req;
+          devices =
+            List.map
+              (function
+                | Sexp.List [ dev; Sexp.List links; Sexp.List mods ] ->
+                    ( s dev,
+                      List.map
+                        (function
+                          | Sexp.List [ p; d; pp ] -> (s p, s d, s pp)
+                          | _ -> raise (Sexp.Parse_error "fed-plan link"))
+                        links,
+                      List.map
+                        (function
+                          | Sexp.List [ m; ab ] -> (Sexp.to_mref m, Abstraction.of_sexp ab)
+                          | _ -> raise (Sexp.Parse_error "fed-plan module"))
+                        mods )
+                | _ -> raise (Sexp.Parse_error "fed-plan device"))
+              devices;
+          module_domains = List.map (Sexp.to_pair Sexp.to_mref s) md;
+          prefixes = List.map (Sexp.to_pair s s) pfx;
+        }
+  | Sexp.List [ Sexp.Atom "fed-plan-err"; req; e ] ->
+      Fed_plan_err { req = Sexp.to_int req; error = s e }
+  | Sexp.List [ Sexp.Atom "fed-commit"; domain; gid; Sexp.List slices; reporter ] ->
+      Fed_commit
+        {
+          domain = s domain;
+          gid = Sexp.to_int gid;
+          slices =
+            List.map
+              (function
+                | Sexp.List [ dev; Sexp.List prims ] -> (s dev, List.map Primitive.of_sexp prims)
+                | _ -> raise (Sexp.Parse_error "fed-commit slice"))
+              slices;
+          reporter = Sexp.to_option Sexp.to_mref reporter;
+        }
+  | Sexp.List [ Sexp.Atom "fed-commit-ack"; gid ] -> Fed_commit_ack { gid = Sexp.to_int gid }
+  | Sexp.List [ Sexp.Atom "fed-commit-err"; gid; e ] ->
+      Fed_commit_err { gid = Sexp.to_int gid; error = s e }
+  | Sexp.List [ Sexp.Atom "fed-abort"; domain; gid ] ->
+      Fed_abort { domain = s domain; gid = Sexp.to_int gid }
+  | Sexp.List [ Sexp.Atom "fed-abort-ack"; gid ] -> Fed_abort_ack { gid = Sexp.to_int gid }
+  | Sexp.List [ Sexp.Atom "fed-relay"; src; dst; p ] ->
+      Fed_relay { src = Sexp.to_mref src; dst = Sexp.to_mref dst; payload = Peer_msg.of_sexp p }
   | _ -> raise (Sexp.Parse_error "wire message")
 
 let encode t = Bytes.of_string (Sexp.to_string (to_sexp t))
@@ -265,7 +417,12 @@ let rec priority_of = function
   | Ha_heartbeat _ | Nm_takeover _ -> 0
   | Fenced { msg; _ } -> priority_of msg
   | Bundle _ | Bundle_ack _ | Bundle_err _ | Ack _ | Set_address _ | Ha_journal _
-  | Ha_journal_ack _ | Ha_inflight _ | Ha_confirm _ ->
+  | Ha_journal_ack _ | Ha_inflight _ | Ha_confirm _
+  (* inter-NM federation traffic rides with scripts: a shed advert or
+     commit would wedge a cross-domain goal exactly when the plane is
+     stressed *)
+  | Fed_advert _ | Fed_plan_req _ | Fed_plan_resp _ | Fed_plan_err _ | Fed_commit _
+  | Fed_commit_ack _ | Fed_commit_err _ | Fed_abort _ | Fed_abort_ack _ | Fed_relay _ ->
       1
   | Hello _ | Show_potential_req _ | Show_potential_resp _ | Show_actual_req _
   | Show_actual_resp _ | Self_test_req _ | Self_test_resp _ | Completion _ | Trigger _

@@ -59,6 +59,44 @@ type t =
       (** a low-level value changed: dependency maintenance (§II-E) *)
   | Convey of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
       (** module -> NM -> module: conveyMessage relay *)
+  | Fed_advert of {
+      domain : string;
+      nm : string;
+      borders : Ids.t list;
+      summary : (string * int) list;
+      devices : string list;
+    }
+      (** NM -> NM: domain advertisement — border modules plus an abridged
+          reachability summary (customer domain -> reachable-module count)
+          and the owned device ids; never the raw internal topology *)
+  | Fed_plan_req of { req : int; domain : string; entry_dev : string; target : Ids.t }
+      (** coordinator -> peer: expand the peer's segment of a cross-domain
+          goal, from border device [entry_dev] towards [target] *)
+  | Fed_plan_resp of {
+      req : int;
+      devices : (string * (string * string * string) list * (Ids.t * Abstraction.t) list) list;
+      module_domains : (Ids.t * string) list;
+      prefixes : (string * string) list;
+    }
+      (** the scoped per-goal expansion: segment devices with their links
+          and module abstractions, plus the peer's address knowledge *)
+  | Fed_plan_err of { req : int; error : string }
+  | Fed_commit of {
+      domain : string;
+      gid : int;
+      slices : (string * Primitive.t list) list;
+      reporter : Ids.t option;
+    }
+      (** coordinator -> peer: execute these per-device slices of goal
+          [(domain, gid)]; ack only once every slice is confirmed *)
+  | Fed_commit_ack of { gid : int }
+  | Fed_commit_err of { gid : int; error : string }
+  | Fed_abort of { domain : string; gid : int }
+      (** distributed back-out: dismantle the goal's slices everywhere so
+          no domain is left half-configured *)
+  | Fed_abort_ack of { gid : int }
+  | Fed_relay of { src : Ids.t; dst : Ids.t; payload : Peer_msg.t }
+      (** cross-domain conveyMessage hop between the two owning NMs *)
 
 val annex_to_sexp : annex -> Sexp.t
 val annex_of_sexp : Sexp.t -> annex
@@ -73,9 +111,10 @@ val decode : bytes -> t
 
 val priority_of : t -> int
 (** Admission-control class: 0 = heartbeats/takeovers (never shed),
-    1 = scripts/back-outs/replication, 2 = probes/showState,
-    3 = telemetry showPerf (shed first). {!Fenced} frames take the class
-    of the message they carry. See {!Mgmt.Admission}. *)
+    1 = scripts/back-outs/replication/inter-NM federation,
+    2 = probes/showState, 3 = telemetry showPerf (shed first). {!Fenced}
+    frames take the class of the message they carry. See
+    {!Mgmt.Admission}. *)
 
 val equal : t -> t -> bool
 val pp : t Fmt.t

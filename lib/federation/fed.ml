@@ -1,0 +1,661 @@
+(* Federated multi-NM management: the testbed is partitioned into
+   administrative domains, each owned by one NM, and cross-domain
+   connectivity goals are achieved by an inter-NM protocol over the same
+   lossy management channel the agents use.
+
+   The protocol keeps a trust boundary between domains. A domain
+   advertisement (Wire.Fed_advert) exports only the domain's border
+   modules and an abridged reachability summary — never the raw internal
+   topology. A cross-domain goal is coordinated by its home NM: it asks
+   the target domain's NM for a per-goal scoped expansion of just the
+   segment the goal traverses (Fed_plan_req/resp — the federated
+   counterpart of §III-C.3's hierarchical loose-hop expansion), plans the
+   ONE global script over a merged scratch topology with the shared
+   deterministic generator — so the resulting configuration is
+   byte-identical to what a single NM owning everything would produce —
+   and then delegates each domain its own per-device slices under a
+   two-phase commit (Fed_commit / ack / err). Configuration writes always
+   come from the owning NM; the coordinator never touches a foreign
+   device. On any segment failure or timeout the coordinator drives a
+   distributed back-out (Fed_abort / abort-ack) so no domain is left
+   half-configured, then replans.
+
+   Everything is driven by [tick] with the Monitor's bounded-horizon
+   discipline, and is idempotent under retransmission: commits and aborts
+   are keyed by (coordinator domain, gid) and re-sent until acknowledged,
+   so the protocol rides out NM crashes and inter-domain partitions.
+   Handlers run inside the network's event loop and therefore only mutate
+   state and enqueue sends; anything that needs to drive the network
+   (back-outs, re-sends) is deferred to the next [tick]. *)
+
+open Conman
+
+(* ticks between protocol retransmissions *)
+let resend_every = 2
+
+(* ticks between periodic domain advertisements *)
+let advert_every = 5
+
+(* ticks an unanswered plan request survives before a fresh attempt *)
+let plan_timeout = 4
+
+(* ticks a commit round may stay unacknowledged before the coordinator
+   assumes a wedged segment and drives the distributed back-out *)
+let commit_timeout = 12
+
+(* same bounded-probe slack as the Monitor: tick work may consume events
+   up to now + slack without fast-forwarding through scheduled faults *)
+let probe_slack_ns = 100_000_000L
+
+type peer = {
+  p_station : string; (* configured up front: federation peering is operator knowledge *)
+  mutable p_domain : string;
+  mutable p_borders : Ids.t list;
+  mutable p_summary : (string * int) list;
+  mutable p_devices : string list;
+  mutable p_seen : bool; (* an advert arrived; [p_devices] is trustworthy *)
+}
+
+(* A delegated commit this NM executes on behalf of a remote coordinator,
+   keyed by (coordinator domain, gid) so retransmits are idempotent. An
+   aborted entry is kept as a tombstone: a late commit retransmit must not
+   resurrect configuration the coordinator already backed out. *)
+type delegated = {
+  d_key : string * int;
+  d_from : string; (* coordinator station id *)
+  mutable d_script : Script_gen.script option; (* None once aborted *)
+  mutable d_acked : bool;
+  mutable d_abort_requested : bool;
+  mutable d_aborted : bool;
+  mutable d_abort_ack_owed : bool;
+}
+
+type phase =
+  | Idle (* waiting to (re)plan *)
+  | Planning of { req : int }
+  | Committing of {
+      gid : int;
+      global : Script_gen.script;
+      local : Script_gen.script option; (* our own slices *)
+      remote : (string * (string * Primitive.t list) list) list; (* peer domain -> slices *)
+      mutable acked : string list; (* peer domains that confirmed *)
+    }
+  | Aborting of {
+      gid : int;
+      mutable to_back_out : Script_gen.script option; (* local slices not yet dismantled *)
+      remote_domains : string list;
+      mutable acked : string list;
+    }
+  | Achieved of { gid : int; global : Script_gen.script }
+  | Failed of string
+
+type goal_run = {
+  gr_id : int;
+  gr_goal : Path_finder.goal;
+  mutable gr_phase : phase;
+  mutable gr_age : int; (* ticks spent in the current phase *)
+  mutable gr_replans : int; (* rounds restarted after a plan error or back-out *)
+  mutable gr_backouts : int; (* distributed back-outs driven *)
+}
+
+type stats = {
+  mutable commits_in : int; (* Fed_commit received, retransmits included *)
+  mutable aborts_in : int;
+  mutable relays : int; (* cross-domain conveys forwarded or delivered *)
+  mutable plan_errs : int;
+}
+
+type t = {
+  nm : Nm.t;
+  domain : string;
+  devices : string list;
+  mutable peers : peer list;
+  mutable goals : goal_run list;
+  mutable next_gid : int;
+  mutable next_goal : int;
+  mutable delegated : delegated list;
+  mutable plan_reqs : int;
+  stats : stats;
+}
+
+let send t ~dst msg = Nm.send_msg t.nm ~dst msg
+let owns t dev = List.mem dev t.devices
+let owner_peer t dev = List.find_opt (fun p -> p.p_seen && List.mem dev p.p_devices) t.peers
+let peer_by_station t st = List.find_opt (fun p -> p.p_station = st) t.peers
+
+(* --- domain advertisement ------------------------------------------------------ *)
+
+(* Border modules: every module of a device with a physical link leaving
+   the domain. The summary is deliberately abridged — per address domain,
+   how many modules serve it — enough for a peer to judge reachability,
+   nothing of the internal graph. *)
+let my_advert t =
+  let topo = Nm.topology t.nm in
+  let borders =
+    List.concat_map
+      (fun dev ->
+        match Topology.device topo dev with
+        | Some di
+          when List.exists (fun (_, peer, _) -> not (owns t peer)) di.Topology.di_links ->
+            List.map fst di.Topology.di_modules
+        | _ -> [])
+      t.devices
+  in
+  let summary =
+    List.fold_left
+      (fun acc ((_ : Ids.t), d) ->
+        if List.mem_assoc d acc then
+          List.map (fun (k, n) -> if k = d then (k, n + 1) else (k, n)) acc
+        else acc @ [ (d, 1) ])
+      [] topo.Topology.module_domains
+  in
+  Wire.Fed_advert
+    { domain = t.domain; nm = Nm.my_id t.nm; borders; summary; devices = t.devices }
+
+let advert = my_advert
+
+let announce t =
+  let adv = my_advert t in
+  List.iter (fun p -> send t ~dst:p.p_station adv) t.peers
+
+(* --- participant: delegated planning ------------------------------------------- *)
+
+(* BFS restricted to our own devices: the goal's segment through this
+   domain, from the border device the coordinator enters at. *)
+let segment_walk t ~entry_dev ~target_dev =
+  let topo = Nm.topology t.nm in
+  let links dev =
+    match Topology.device topo dev with
+    | Some di ->
+        List.filter_map
+          (fun (_, peer, _) -> if owns t peer then Some peer else None)
+          di.Topology.di_links
+    | None -> []
+  in
+  let rec bfs frontier seen =
+    match frontier with
+    | [] -> None
+    | (dev, path) :: rest ->
+        if dev = target_dev then Some (List.rev (dev :: path))
+        else
+          let nexts =
+            List.filter (fun p -> not (List.mem p seen)) (links dev)
+            |> List.map (fun p -> (p, dev :: path))
+          in
+          bfs (rest @ nexts) (List.map fst nexts @ seen)
+  in
+  if owns t entry_dev then bfs [ (entry_dev, []) ] [ entry_dev ] else None
+
+let answer_plan t ~src ~req ~entry_dev ~(target : Ids.t) =
+  let topo = Nm.topology t.nm in
+  if not (owns t target.Ids.dev) then
+    send t ~dst:src (Wire.Fed_plan_err { req; error = "target outside domain " ^ t.domain })
+  else
+    match segment_walk t ~entry_dev ~target_dev:target.Ids.dev with
+    | None -> send t ~dst:src (Wire.Fed_plan_err { req; error = "no segment from border " ^ entry_dev })
+    | Some walk ->
+        let devices =
+          List.filter_map
+            (fun dev ->
+              match Topology.device topo dev with
+              | Some di -> Some (dev, di.Topology.di_links, di.Topology.di_modules)
+              | None -> None)
+            walk
+        in
+        let module_domains =
+          List.filter (fun ((m : Ids.t), _) -> List.mem m.Ids.dev walk) topo.Topology.module_domains
+        in
+        send t ~dst:src
+          (Wire.Fed_plan_resp
+             { req; devices; module_domains; prefixes = topo.Topology.domain_prefixes })
+
+(* --- participant: delegated execution ------------------------------------------ *)
+
+let find_delegated t key = List.find_opt (fun d -> d.d_key = key) t.delegated
+
+let on_commit t ~src ~key ~slices ~reporter =
+  t.stats.commits_in <- t.stats.commits_in + 1;
+  match find_delegated t key with
+  | Some d ->
+      if d.d_aborted || d.d_abort_requested then () (* tombstone: never resurrect *)
+      else if d.d_acked then send t ~dst:src (Wire.Fed_commit_ack { gid = snd key })
+      else () (* still executing; the tick acks once every slice is confirmed *)
+  | None ->
+      if List.exists (fun (dev, _) -> not (owns t dev)) slices then begin
+        (* protocol-level enforcement of the write boundary: we refuse to
+           configure devices outside our own domain *)
+        send t ~dst:src
+          (Wire.Fed_commit_err { gid = snd key; error = "slice names a foreign device" });
+        t.delegated <-
+          {
+            d_key = key;
+            d_from = src;
+            d_script = None;
+            d_acked = false;
+            d_abort_requested = false;
+            d_aborted = true;
+            d_abort_ack_owed = false;
+          }
+          :: t.delegated
+      end
+      else begin
+        let script =
+          {
+            Script_gen.prims = List.concat_map snd slices;
+            per_device = slices;
+            reporter;
+            path = { Path_finder.visits = [] };
+          }
+        in
+        Nm.run_script t.nm script;
+        t.delegated <-
+          {
+            d_key = key;
+            d_from = src;
+            d_script = Some script;
+            d_acked = false;
+            d_abort_requested = false;
+            d_aborted = false;
+            d_abort_ack_owed = false;
+          }
+          :: t.delegated
+      end
+
+let on_abort t ~src ~key =
+  t.stats.aborts_in <- t.stats.aborts_in + 1;
+  match find_delegated t key with
+  | Some d ->
+      d.d_abort_requested <- true;
+      d.d_abort_ack_owed <- true
+  | None ->
+      (* abort for a commit that never arrived: tombstone it so a late
+         commit retransmit cannot apply what the coordinator backed out *)
+      t.delegated <-
+        {
+          d_key = key;
+          d_from = src;
+          d_script = None;
+          d_acked = false;
+          d_abort_requested = true;
+          d_aborted = true;
+          d_abort_ack_owed = true;
+        }
+        :: t.delegated
+
+(* --- coordinator --------------------------------------------------------------- *)
+
+let find_goal_planning t req =
+  List.find_opt
+    (fun g -> match g.gr_phase with Planning { req = r } -> r = req | _ -> false)
+    t.goals
+
+let find_goal_committing t gid =
+  List.find_opt
+    (fun g -> match g.gr_phase with Committing { gid = g'; _ } -> g' = gid | _ -> false)
+    t.goals
+
+let find_goal_aborting t gid =
+  List.find_opt
+    (fun g -> match g.gr_phase with Aborting { gid = g'; _ } -> g' = gid | _ -> false)
+    t.goals
+
+let reset (_ : t) g =
+  g.gr_phase <- Idle;
+  g.gr_age <- 0;
+  g.gr_replans <- g.gr_replans + 1
+
+let start_abort t g =
+  match g.gr_phase with
+  | Committing { gid; local; remote; _ } ->
+      g.gr_backouts <- g.gr_backouts + 1;
+      g.gr_age <- 0;
+      g.gr_phase <-
+        Aborting { gid; to_back_out = local; remote_domains = List.map fst remote; acked = [] }
+  | _ -> ignore t
+
+(* The plan response arrived: merge the expansion into a scratch topology,
+   plan exactly as a single NM would (same finder, same chooser, same
+   generator — this is what makes the federated configuration
+   byte-identical to the single-NM one), then split the global script's
+   per-device slices by owning domain and open the commit round. *)
+let on_plan_resp t g ~devices ~module_domains ~prefixes:_ =
+  let topo = Nm.topology t.nm in
+  let scratch = Topology.create () in
+  List.iter
+    (fun (di : Topology.device_info) ->
+      if owns t di.Topology.di_id then begin
+        Topology.record_hello scratch ~src:di.Topology.di_id di.Topology.di_links;
+        Topology.record_potential scratch ~src:di.Topology.di_id di.Topology.di_modules
+      end)
+    topo.Topology.devices;
+  List.iter
+    (fun (dev, links, mods) ->
+      Topology.record_hello scratch ~src:dev links;
+      Topology.record_potential scratch ~src:dev mods)
+    devices;
+  let own_md =
+    List.filter (fun ((m : Ids.t), _) -> owns t m.Ids.dev) topo.Topology.module_domains
+  in
+  Topology.set_domains scratch ~module_domains:(own_md @ module_domains)
+    ~domain_prefixes:topo.Topology.domain_prefixes;
+  let scope = t.devices @ List.map (fun (d, _, _) -> d) devices in
+  let goal = { g.gr_goal with Path_finder.g_scope = scope } in
+  let paths = Path_finder.find scratch goal in
+  match Path_finder.choose scratch paths with
+  | None ->
+      t.stats.plan_errs <- t.stats.plan_errs + 1;
+      reset t g
+  | Some path -> (
+      let global = Script_gen.generate scratch goal path in
+      let own_slices, foreign =
+        List.partition (fun (d, _) -> owns t d) global.Script_gen.per_device
+      in
+      let unowned =
+        List.filter (fun (dev, _) -> owner_peer t dev = None) foreign
+      in
+      match unowned with
+      | (dev, _) :: _ -> g.gr_phase <- Failed ("device in no advertised domain: " ^ dev)
+      | [] ->
+          let remote =
+            List.fold_left
+              (fun acc (dev, prims) ->
+                match owner_peer t dev with
+                | None -> acc
+                | Some p ->
+                    let cur = Option.value ~default:[] (List.assoc_opt p.p_domain acc) in
+                    (p.p_domain, cur @ [ (dev, prims) ]) :: List.remove_assoc p.p_domain acc)
+              [] foreign
+          in
+          t.next_gid <- t.next_gid + 1;
+          let gid = t.next_gid in
+          let local =
+            match own_slices with
+            | [] -> None
+            | _ ->
+                Some
+                  {
+                    Script_gen.prims =
+                      List.filter (fun p -> owns t (Primitive.target p)) global.Script_gen.prims;
+                    per_device = own_slices;
+                    reporter = global.Script_gen.reporter;
+                    path = global.Script_gen.path;
+                  }
+          in
+          List.iter
+            (fun (dom, slices) ->
+              match List.find_opt (fun p -> p.p_domain = dom) t.peers with
+              | Some p ->
+                  send t ~dst:p.p_station
+                    (Wire.Fed_commit
+                       { domain = t.domain; gid; slices; reporter = global.Script_gen.reporter })
+              | None -> ())
+            remote;
+          Option.iter (Nm.run_script t.nm) local;
+          g.gr_age <- 0;
+          g.gr_phase <- Committing { gid; global; local; remote; acked = [] })
+
+(* --- cross-domain conveyMessage relay ------------------------------------------ *)
+
+let relay_out t ~src ~dst payload =
+  match owner_peer t dst.Ids.dev with
+  | Some p ->
+      t.stats.relays <- t.stats.relays + 1;
+      send t ~dst:p.p_station (Wire.Fed_relay { src; dst; payload })
+  | None -> () (* owner unknown (advert not yet seen): the modules' own protocol retries *)
+
+let on_relay t ~src:_ ~(msrc : Ids.t) ~(dst : Ids.t) ~payload =
+  if owns t dst.Ids.dev then begin
+    t.stats.relays <- t.stats.relays + 1;
+    send t ~dst:dst.Ids.dev (Wire.Convey { src = msrc; dst; payload })
+  end
+  else relay_out t ~src:msrc ~dst payload (* not ours: forward towards the owner *)
+
+(* --- inbound dispatch ----------------------------------------------------------- *)
+
+let handle t ~src msg =
+  match msg with
+  | Wire.Fed_advert { domain; nm; borders; summary; devices } -> (
+      match peer_by_station t nm with
+      | Some p ->
+          p.p_domain <- domain;
+          p.p_borders <- borders;
+          p.p_summary <- summary;
+          p.p_devices <- devices;
+          p.p_seen <- true
+      | None ->
+          (* adverts can introduce peers we were not configured with *)
+          t.peers <-
+            t.peers
+            @ [
+                {
+                  p_station = nm;
+                  p_domain = domain;
+                  p_borders = borders;
+                  p_summary = summary;
+                  p_devices = devices;
+                  p_seen = true;
+                };
+              ])
+  | Wire.Fed_plan_req { req; domain = _; entry_dev; target } ->
+      answer_plan t ~src ~req ~entry_dev ~target
+  | Wire.Fed_plan_resp { req; devices; module_domains; prefixes } -> (
+      match find_goal_planning t req with
+      | Some g -> on_plan_resp t g ~devices ~module_domains ~prefixes
+      | None -> () (* stale response for an attempt we already restarted *))
+  | Wire.Fed_plan_err { req; error = _ } -> (
+      t.stats.plan_errs <- t.stats.plan_errs + 1;
+      match find_goal_planning t req with Some g -> reset t g | None -> ())
+  | Wire.Fed_commit { domain; gid; slices; reporter } ->
+      on_commit t ~src ~key:(domain, gid) ~slices ~reporter
+  | Wire.Fed_commit_ack { gid } -> (
+      match find_goal_committing t gid with
+      | Some g -> (
+          match (g.gr_phase, peer_by_station t src) with
+          | Committing c, Some p ->
+              if not (List.mem p.p_domain c.acked) then c.acked <- p.p_domain :: c.acked
+          | _ -> ())
+      | None -> ())
+  | Wire.Fed_commit_err { gid; error = _ } -> (
+      match find_goal_committing t gid with Some g -> start_abort t g | None -> ())
+  | Wire.Fed_abort { domain; gid } -> on_abort t ~src ~key:(domain, gid)
+  | Wire.Fed_abort_ack { gid } -> (
+      match find_goal_aborting t gid with
+      | Some g -> (
+          match (g.gr_phase, peer_by_station t src) with
+          | Aborting a, Some p ->
+              if not (List.mem p.p_domain a.acked) then a.acked <- p.p_domain :: a.acked
+          | _ -> ())
+      | None -> ())
+  | Wire.Fed_relay { src = msrc; dst; payload } -> on_relay t ~src ~msrc ~dst ~payload
+  | _ -> ()
+
+(* --- goal intake ---------------------------------------------------------------- *)
+
+let submit t goal =
+  t.next_goal <- t.next_goal + 1;
+  let g =
+    { gr_id = t.next_goal; gr_goal = goal; gr_phase = Idle; gr_age = 0; gr_replans = 0; gr_backouts = 0 }
+  in
+  t.goals <- t.goals @ [ g ];
+  g.gr_id
+
+let find_goal t id = List.find_opt (fun g -> g.gr_id = id) t.goals
+
+(* --- the per-tick drive --------------------------------------------------------- *)
+
+(* Opens (or restarts) the planning round for a goal. Local goals are
+   achieved directly; cross-domain ones need the owner's advert and a
+   border link before the plan request can go out. *)
+let step_idle t g =
+  let target_dev = g.gr_goal.Path_finder.g_to.Ids.dev in
+  if owns t target_dev then
+    match Nm.achieve t.nm g.gr_goal with
+    | Ok (_, _, script) ->
+        t.next_gid <- t.next_gid + 1;
+        g.gr_phase <- Achieved { gid = t.next_gid; global = script }
+    | Error _ -> () (* retry on a later tick *)
+  else
+    match owner_peer t target_dev with
+    | None -> () (* no advert yet; periodic announces will provoke one *)
+    | Some p -> (
+        let topo = Nm.topology t.nm in
+        let entry =
+          List.find_map
+            (fun dev ->
+              match Topology.device topo dev with
+              | Some di ->
+                  List.find_map
+                    (fun (_, peer, _) -> if List.mem peer p.p_devices then Some peer else None)
+                    di.Topology.di_links
+              | None -> None)
+            t.devices
+        in
+        match entry with
+        | None -> () (* no border link into the owner's domain *)
+        | Some entry_dev ->
+            t.plan_reqs <- t.plan_reqs + 1;
+            let req = t.plan_reqs in
+            send t ~dst:p.p_station
+              (Wire.Fed_plan_req { req; domain = t.domain; entry_dev; target = g.gr_goal.Path_finder.g_to });
+            g.gr_age <- 0;
+            g.gr_phase <- Planning { req })
+
+let step_goal t g =
+  match g.gr_phase with
+  | Idle -> step_idle t g
+  | Planning _ -> if g.gr_age >= plan_timeout then step_idle t g (* fresh request *)
+  | Committing c ->
+      if g.gr_age >= commit_timeout then start_abort t g
+      else begin
+        (* re-ship the commit to peers that have not confirmed *)
+        if g.gr_age > 0 && g.gr_age mod resend_every = 0 then
+          List.iter
+            (fun (dom, slices) ->
+              if not (List.mem dom c.acked) then
+                match List.find_opt (fun p -> p.p_domain = dom) t.peers with
+                | Some p ->
+                    send t ~dst:p.p_station
+                      (Wire.Fed_commit
+                         {
+                           domain = t.domain;
+                           gid = c.gid;
+                           slices;
+                           reporter = c.global.Script_gen.reporter;
+                         })
+                | None -> ())
+            c.remote;
+        let local_done =
+          match c.local with None -> true | Some s -> not (Nm.script_pending t.nm s)
+        in
+        if local_done && List.for_all (fun (dom, _) -> List.mem dom c.acked) c.remote then
+          g.gr_phase <- Achieved { gid = c.gid; global = c.global }
+      end
+  | Aborting a ->
+      (match a.to_back_out with
+      | Some s ->
+          Nm.abort_script t.nm s;
+          a.to_back_out <- None
+      | None -> ());
+      if g.gr_age mod resend_every = 0 then
+        List.iter
+          (fun dom ->
+            if not (List.mem dom a.acked) then
+              match List.find_opt (fun p -> p.p_domain = dom) t.peers with
+              | Some p -> send t ~dst:p.p_station (Wire.Fed_abort { domain = t.domain; gid = a.gid })
+              | None -> ())
+          a.remote_domains;
+      if List.for_all (fun dom -> List.mem dom a.acked) a.remote_domains then reset t g
+  | Achieved _ | Failed _ -> ()
+
+let step_delegated t d =
+  if d.d_abort_requested && not d.d_aborted then begin
+    (match d.d_script with Some s -> Nm.abort_script t.nm s | None -> ());
+    d.d_script <- None;
+    d.d_aborted <- true
+  end;
+  if d.d_abort_ack_owed then begin
+    d.d_abort_ack_owed <- false;
+    send t ~dst:d.d_from (Wire.Fed_abort_ack { gid = snd d.d_key })
+  end;
+  if (not d.d_aborted) && not d.d_acked then
+    match d.d_script with
+    | Some s when not (Nm.script_pending t.nm s) ->
+        d.d_acked <- true;
+        send t ~dst:d.d_from (Wire.Fed_commit_ack { gid = snd d.d_key })
+    | _ -> ()
+
+let tick t ~tick =
+  let now = Netsim.Event_queue.now (Netsim.Net.eq (Nm.net t.nm)) in
+  Nm.set_horizon t.nm (Some (Int64.add now probe_slack_ns));
+  Fun.protect
+    ~finally:(fun () -> Nm.set_horizon t.nm None)
+    (fun () ->
+      if tick mod advert_every = 0 then announce t;
+      (* re-deliver state-changing requests the transport gave up on
+         (crashed stations, inter-domain partitions) *)
+      Nm.flush_inflight t.nm;
+      List.iter (fun d -> step_delegated t d) t.delegated;
+      List.iter
+        (fun g ->
+          step_goal t g;
+          g.gr_age <- g.gr_age + 1)
+        t.goals)
+
+(* --- observation ----------------------------------------------------------------- *)
+
+type status = Pending | Achieved_ok | Failed_with of string
+
+let status t id =
+  match find_goal t id with
+  | None -> Failed_with "unknown goal"
+  | Some g -> (
+      match g.gr_phase with
+      | Achieved _ -> Achieved_ok
+      | Failed e -> Failed_with e
+      | Idle | Planning _ | Committing _ | Aborting _ -> Pending)
+
+let achieved t id = status t id = Achieved_ok
+
+let global_script t id =
+  match find_goal t id with
+  | Some { gr_phase = Achieved { global; _ }; _ } -> Some global
+  | Some { gr_phase = Committing { global; _ }; _ } -> Some global
+  | _ -> None
+
+let replans t = List.fold_left (fun acc g -> acc + g.gr_replans) 0 t.goals
+let backouts t = List.fold_left (fun acc g -> acc + g.gr_backouts) 0 t.goals
+let relays t = t.stats.relays
+let commits_received t = t.stats.commits_in
+let aborts_received t = t.stats.aborts_in
+let plan_errors t = t.stats.plan_errs
+let delegated_aborted t = List.length (List.filter (fun d -> d.d_aborted) t.delegated)
+let nm t = t.nm
+let domain t = t.domain
+let devices t = t.devices
+let peers_known t = List.filter_map (fun p -> if p.p_seen then Some (p.p_domain, p.p_devices) else None) t.peers
+
+(* --- construction ---------------------------------------------------------------- *)
+
+let create ~nm ~domain ~devices ~peers () =
+  let t =
+    {
+      nm;
+      domain;
+      devices;
+      peers =
+        List.map
+          (fun st ->
+            { p_station = st; p_domain = ""; p_borders = []; p_summary = []; p_devices = []; p_seen = false })
+          peers;
+      goals = [];
+      next_gid = 0;
+      next_goal = 0;
+      delegated = [];
+      plan_reqs = 0;
+      stats = { commits_in = 0; aborts_in = 0; relays = 0; plan_errs = 0 };
+    }
+  in
+  Nm.set_owned_devices nm devices;
+  Nm.set_fed_hook nm (fun ~src msg -> handle t ~src msg);
+  Nm.set_convey_relay nm (fun ~src ~dst payload -> relay_out t ~src ~dst payload);
+  t

@@ -1,0 +1,162 @@
+(* The federated counterpart of Scenarios.build_chain: the same n-router
+   chain testbed, partitioned into a west and an east administrative
+   domain, each owned by its own NM on the shared out-of-band management
+   channel. Every agent is homed to its domain's NM station, each NM
+   discovers and harvests only its own devices, and module-domain
+   knowledge is entered per domain — the only cross-domain knowledge is
+   the customer prefix map both operators hold. The cross-domain goal is
+   the exact goal build_chain poses to a single NM, which is what makes
+   the configuration-parity check meaningful. *)
+
+open Conman
+
+let west_station = "id-NM-W"
+let east_station = "id-NM-E"
+
+type two_domain = {
+  ftb : Netsim.Testbeds.chain;
+  fchan : Mgmt.Channel.t;
+  ffaults : Mgmt.Faults.t;
+  ftransport : Mgmt.Reliable.t;
+  fadmission : Mgmt.Admission.t;
+  fwest : Fed.t;
+  feast : Fed.t;
+  fgoal : Path_finder.goal;
+  fscope : string list;
+  fwest_devices : string list;
+  feast_devices : string list;
+  fagents : (string * Agent.t) list;
+}
+
+let build_two_domain ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?fault_seed
+    ?reliability ?admission ?split n =
+  let tb = Netsim.Testbeds.chain ~addressed:true n in
+  let net = tb.Netsim.Testbeds.chain_net in
+  let routers = Array.to_list tb.Netsim.Testbeds.routers in
+  let split = match split with Some s -> s | None -> n / 2 in
+  if split < 1 || split > n - 1 then invalid_arg "build_two_domain: split out of range";
+  let ids = List.map (fun d -> d.Netsim.Device.dev_id) routers in
+  let west_devices = List.filteri (fun i _ -> i < split) ids in
+  let east_devices = List.filteri (fun i _ -> i >= split) ids in
+  let chan, faults, transport, admission, _ =
+    Scenarios.make_channel ?fault_seed ?reliability ?admission `Oob net ~devices:routers
+      ~attach_to:(List.hd routers)
+  in
+  let w_md = ref [] and e_md = ref [] in
+  (* same module layout as build_chain, so the single-NM run over the same
+     testbed produces the same plan space *)
+  let setup_device ~station ~md dev specs =
+    let agent = Agent.create ~chan ~nm_device:station dev in
+    let env = Agent.env agent in
+    List.iter
+      (fun spec ->
+        match spec with
+        | `Eth (mid, port) ->
+            Agent.register agent
+              (Eth_module.make ~env ~mref:(Scenarios.mref "ETH" mid dev) ~ports:[ port ]
+                 ~switching:false ~neighbours:(Scenarios.eth_neighbours net dev) ())
+        | `Ip (mid, ifaces, domain) ->
+            md := (Scenarios.mref "IP" mid dev, domain) :: !md;
+            let impl, _ = Ip_module.make ~env ~mref:(Scenarios.mref "IP" mid dev) ~ifaces ~domain () in
+            Agent.register agent impl
+        | `Gre mid -> Agent.register agent (Gre_module.make ~env ~mref:(Scenarios.mref "GRE" mid dev) ())
+        | `Mpls mid -> Agent.register agent (Mpls_module.make ~env ~mref:(Scenarios.mref "MPLS" mid dev) ()))
+      specs;
+    agent
+  in
+  let agents =
+    List.mapi
+      (fun idx dev ->
+        let station, md = if idx < split then (west_station, w_md) else (east_station, e_md) in
+        let specs =
+          if idx = 0 then
+            [
+              `Eth ("a", 0);
+              `Eth ("b", 1);
+              `Ip ("g", [ "eth1" ], "C1");
+              `Ip ("h", [ "eth2" ], "ISP");
+              `Gre "l";
+              `Mpls "o";
+            ]
+          else if idx = n - 1 then
+            [
+              `Eth ("e", 0); (* eth1, towards the core *)
+              `Eth ("f", 1); (* eth2, customer-facing *)
+              `Ip ("j", [ "eth1" ], "ISP");
+              `Ip ("k", [ "eth2" ], "C1");
+              `Gre "n";
+              `Mpls "q";
+            ]
+          else
+            [
+              `Eth (Printf.sprintf "c%d" (idx + 1), 0);
+              `Eth (Printf.sprintf "d%d" (idx + 1), 1);
+              `Ip (Printf.sprintf "i%d" (idx + 1), [ "eth1"; "eth2" ], "ISP");
+              `Mpls (Printf.sprintf "p%d" (idx + 1));
+            ]
+        in
+        (dev.Netsim.Device.dev_id, setup_device ~station ~md dev specs))
+      routers
+  in
+  let nm_w = Nm.create ~transport ~chan ~net ~my_id:west_station () in
+  let nm_e = Nm.create ~transport ~chan ~net ~my_id:east_station () in
+  List.iter (fun (_, a) -> Agent.announce a net) agents;
+  (* shared network: one run delivers the Hellos to both stations *)
+  Nm.run nm_w;
+  Nm.harvest_potentials nm_w west_devices;
+  Nm.harvest_potentials nm_e east_devices;
+  let prefixes = [ ("C1-S1", "10.0.1.0/24"); ("C1-S2", "10.0.2.0/24") ] in
+  Topology.set_domains (Nm.topology nm_w) ~module_domains:!w_md ~domain_prefixes:prefixes;
+  Topology.set_domains (Nm.topology nm_e) ~module_domains:!e_md ~domain_prefixes:prefixes;
+  let west = Fed.create ~nm:nm_w ~domain:"west" ~devices:west_devices ~peers:[ east_station ] () in
+  let east = Fed.create ~nm:nm_e ~domain:"east" ~devices:east_devices ~peers:[ west_station ] () in
+  Fed.announce west;
+  Fed.announce east;
+  Nm.run nm_w;
+  let goal =
+    {
+      Path_finder.g_from = Ids.v "ETH" "a" "id-R1";
+      g_to = Ids.v "ETH" "f" (Printf.sprintf "id-R%d" n);
+      g_customer = "C1";
+      g_src_domain = "C1-S1";
+      g_dst_domain = "C1-S2";
+      g_src_site = "S1";
+      g_dst_site = "S2";
+      g_tradeoffs = tradeoffs;
+      g_scope = ids;
+    }
+  in
+  {
+    ftb = tb;
+    fchan = chan;
+    ffaults = faults;
+    ftransport = transport;
+    fadmission = admission;
+    fwest = west;
+    feast = east;
+    fgoal = goal;
+    fscope = ids;
+    fwest_devices = west_devices;
+    feast_devices = east_devices;
+    fagents = agents;
+  }
+
+let two_domain_reachable t = Netsim.Testbeds.chain_reachable t.ftb
+
+(* Drives both federation nodes a bounded interval per tick until the goal
+   is achieved — the fault-free drive; the chaos engine has its own with
+   fault injection interleaved. *)
+let converge ?(interval_ns = 500_000_000L) ?(max_ticks = 40) t gid =
+  let net = Nm.net (Fed.nm t.fwest) in
+  let eq = Netsim.Net.eq net in
+  let rec go tick =
+    if Fed.achieved t.fwest gid || Fed.achieved t.feast gid then true
+    else if tick >= max_ticks then false
+    else begin
+      Fed.tick t.fwest ~tick;
+      Fed.tick t.feast ~tick;
+      ignore (Netsim.Net.run_until net ~deadline:(Int64.add (Netsim.Event_queue.now eq) interval_ns));
+      go (tick + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,49 @@
+(** Ready-made federated deployments: the n-router chain of
+    {!Conman.Scenarios.build_chain}, partitioned into a west and an east
+    administrative domain, each owned by its own NM on a shared
+    out-of-band management channel. *)
+
+open Conman
+
+val west_station : string
+(** Station id the west domain's NM subscribes under ("id-NM-W"). *)
+
+val east_station : string
+
+type two_domain = {
+  ftb : Netsim.Testbeds.chain;
+  fchan : Mgmt.Channel.t;
+  ffaults : Mgmt.Faults.t;  (** fault-injection handle for the shared channel *)
+  ftransport : Mgmt.Reliable.t;
+  fadmission : Mgmt.Admission.t;
+  fwest : Fed.t;
+  feast : Fed.t;
+  fgoal : Path_finder.goal;  (** the same cross-domain goal build_chain poses to one NM *)
+  fscope : string list;  (** all router ids, west then east *)
+  fwest_devices : string list;
+  feast_devices : string list;
+  fagents : (string * Agent.t) list;  (** device id -> agent *)
+}
+
+val build_two_domain :
+  ?tradeoffs:string list ->
+  ?fault_seed:int ->
+  ?reliability:Mgmt.Reliable.config ->
+  ?admission:Mgmt.Admission.config ->
+  ?split:int ->
+  int ->
+  two_domain
+(** [build_two_domain n] builds the n-router chain with routers
+    [0..split-1] owned by the west NM and the rest by the east NM
+    ([split] defaults to [n/2]). Each agent is homed to its domain's
+    station; each NM discovers, harvests and holds module-domain
+    knowledge for its own devices only. Domain adverts have already been
+    exchanged on return. *)
+
+val two_domain_reachable : two_domain -> bool
+(** Bidirectional reachability between the chain's customer edges. *)
+
+val converge : ?interval_ns:int64 -> ?max_ticks:int -> two_domain -> int -> bool
+(** [converge t gid] drives both federation nodes (one {!Fed.tick} each,
+    then a bounded network interval) until goal [gid] is achieved or
+    [max_ticks] is exhausted — the fault-free drive. *)

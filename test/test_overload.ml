@@ -265,6 +265,44 @@ let test_fuzz_schedule_decode () =
     | exception e -> Alcotest.failf "Schedule.of_string raised %s" (Printexc.to_string e)
   done
 
+(* Peer_msg rides opaquely inside Convey/Fed_relay frames, so its sexp
+   codec sees the same hostile bytes the Wire codec does — every variant
+   in the corpus, including the int32-keyed gre-params whose parse once
+   leaked a bare [Failure]. *)
+let peer_msg_corpus =
+  [
+    Peer_msg.Gre_params
+      { pipe = "gre0"; ikey = 0x1234_5678l; okey = Int32.min_int; use_seq = true; use_csum = false };
+    Peer_msg.Gre_params_ack { pipe = "gre0" };
+    Peer_msg.Lfv_request
+      { purpose = "endpoint"; fields = [ "addr"; "plen" ]; own = [ ("addr", "10.0.0.1") ] };
+    Peer_msg.Lfv_reply { purpose = "nexthop"; fields = [ ("addr", "10.0.0.2"); ("plen", "24") ] };
+    Peer_msg.Mpls_label_bind { pipe = "lsp1"; label = 42; nexthop = "10.0.1.1" };
+    Peer_msg.Vlan_vid_bind { pipe = "trunk0"; vid = 101 };
+    Peer_msg.Vlan_vid_ack { pipe = "trunk0" };
+  ]
+
+let test_fuzz_peer_msg_decode () =
+  let prng = Mgmt.Faults.Prng.create 4242 in
+  let pool =
+    List.map (fun m -> Bytes.of_string (Sexp.to_string (Peer_msg.to_sexp m))) peer_msg_corpus
+  in
+  for _ = 1 to 2000 do
+    let m = Bytes.to_string (mutate prng pool) in
+    match Peer_msg.of_sexp (Sexp.of_string m) with
+    | _ -> ()
+    | exception Sexp.Parse_error _ -> ()
+    | exception e ->
+        Alcotest.failf "Peer_msg.of_sexp raised %s on %S" (Printexc.to_string e) m
+  done;
+  (* round-trip sanity: every corpus entry survives encode/decode *)
+  List.iter
+    (fun m ->
+      let m' = Peer_msg.of_sexp (Sexp.of_string (Sexp.to_string (Peer_msg.to_sexp m))) in
+      if not (Peer_msg.equal m m') then
+        Alcotest.failf "Peer_msg round-trip changed %a" Peer_msg.pp m)
+    peer_msg_corpus
+
 let test_agent_drops_malformed () =
   let v = Scenarios.build_vpn () in
   let agent = List.assoc "A" v.Scenarios.agents in
@@ -405,6 +443,8 @@ let () =
             test_fuzz_frame_decode;
           Alcotest.test_case "Schedule.of_string never raises undeclared" `Quick
             test_fuzz_schedule_decode;
+          Alcotest.test_case "Peer_msg.of_sexp never raises undeclared" `Quick
+            test_fuzz_peer_msg_decode;
           Alcotest.test_case "agents drop malformed frames" `Quick test_agent_drops_malformed;
         ] );
       ( "ha-under-storm",
