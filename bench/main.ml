@@ -735,7 +735,7 @@ let overload_datapoints () =
   let wide_net = c.Scenarios.ctb.Netsim.Testbeds.chain_net in
   let adm = c.Scenarios.cadmission in
   let tel = Telemetry.create ~scope:c.Scenarios.cscope c.Scenarios.cnm in
-  Telemetry.set_shed_probe tel (fun () -> Mgmt.Admission.shed_total adm);
+  Telemetry.set_shed_probe tel (fun () -> Mgmt.Admission.lost_total adm);
   let base_period = Telemetry.period_ns tel in
   Mgmt.Admission.reset_counters adm;
   let wide_storm = ref 0 in
@@ -901,6 +901,106 @@ let federation_datapoints () =
   print_endline "\n===== federation soak data points (BENCH_federation.json) =====";
   print_string json
 
+(* --- trace data points (BENCH_trace.json) --------------------------------------- *)
+
+(* The observability acceptance soak. Every federated chaos seed must
+   yield ONE connected span tree for its cross-domain goal — a single
+   root, zero orphan spans anywhere in either NM's collector — and the
+   per-phase latency samples (plan, commit, abort; plus the diamond
+   engine's HA failover-detection latency) are merged across seeds into
+   percentile summaries. CI gates on [orphan_spans_total] == 0,
+   [disconnected_runs] == 0 and the presence of the phase-latency
+   percentile fields. *)
+let trace_datapoints () =
+  let fed_ticks = if quick then 6 else 10 in
+  let fed_seeds = List.init 20 (fun i -> i + 1) in
+  let fed_runs =
+    List.map
+      (fun seed -> (seed, Chaos.Fed_engine.run (Chaos.Fed_engine.generate ~seed ~ticks:fed_ticks ())))
+      fed_seeds
+  in
+  let dia_ticks = if quick then 6 else 10 in
+  let dia_seeds = List.init 10 (fun i -> i + 1) in
+  let dia_runs =
+    List.map
+      (fun seed -> (seed, Chaos.Engine.run (Chaos.Schedule.generate ~seed ~ticks:dia_ticks ())))
+      dia_seeds
+  in
+  let orphan_spans_total =
+    List.fold_left (fun acc (_, r) -> acc + r.Chaos.Fed_engine.orphan_spans) 0 fed_runs
+    + List.fold_left (fun acc (_, r) -> acc + r.Chaos.Engine.orphan_spans) 0 dia_runs
+  in
+  let disconnected_runs =
+    List.length (List.filter (fun (_, r) -> not r.Chaos.Fed_engine.trace_connected) fed_runs)
+  in
+  let total_spans = List.fold_left (fun acc (_, r) -> acc + r.Chaos.Fed_engine.total_spans) 0 fed_runs in
+  (* merge raw samples across runs, then take percentiles once *)
+  let merged = Hashtbl.create 8 in
+  let add samples =
+    List.iter
+      (fun (k, vs) ->
+        let prev = match Hashtbl.find_opt merged k with Some l -> l | None -> [] in
+        Hashtbl.replace merged k (prev @ vs))
+      samples
+  in
+  List.iter (fun (_, r) -> add r.Chaos.Fed_engine.phase_samples) fed_runs;
+  List.iter (fun (_, r) -> add r.Chaos.Engine.phase_samples) dia_runs;
+  let phase_json key =
+    let vs = match Hashtbl.find_opt merged key with Some l -> l | None -> [] in
+    match vs with
+    | [] -> Printf.sprintf "    \"%s\": { \"count\": 0 }" key
+    | vs ->
+        let arr = Array.of_list (List.sort compare vs) in
+        let n = Array.length arr in
+        let pct p = arr.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+        Printf.sprintf
+          "    \"%s\": { \"count\": %d, \"min\": %d, \"max\": %d, \"mean\": %.2f, \"p50\": %d, \
+           \"p90\": %d, \"p99\": %d }"
+          key n arr.(0)
+          arr.(n - 1)
+          (float_of_int (List.fold_left ( + ) 0 vs) /. float_of_int n)
+          (pct 0.50) (pct 0.90) (pct 0.99)
+  in
+  let seed_json (seed, (r : Chaos.Fed_engine.report)) =
+    Printf.sprintf
+      "    { \"seed\": %d, \"spans\": %d, \"orphan_spans\": %d, \"connected\": %b, \
+       \"converged\": %b }"
+      seed r.Chaos.Fed_engine.total_spans r.Chaos.Fed_engine.orphan_spans
+      r.Chaos.Fed_engine.trace_connected
+      (r.Chaos.Fed_engine.converged_tick <> None)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"soak\": {\n\
+      \    \"federated_seeds\": %d,\n\
+      \    \"federated_ticks\": %d,\n\
+      \    \"diamond_seeds\": %d,\n\
+      \    \"diamond_ticks\": %d\n\
+      \  },\n\
+      \  \"orphan_spans\": %d,\n\
+      \  \"disconnected_runs\": %d,\n\
+      \  \"total_spans\": %d,\n\
+      \  \"phase_latency_ticks\": {\n\
+       %s\n\
+      \  },\n\
+      \  \"per_seed\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (List.length fed_seeds) fed_ticks (List.length dia_seeds) dia_ticks orphan_spans_total
+      disconnected_runs total_spans
+      (String.concat ",\n"
+         (List.map phase_json
+            [ "fed.plan_ticks"; "fed.commit_ticks"; "fed.abort_ticks"; "ha.failover_detect_ticks" ]))
+      (String.concat ",\n" (List.map seed_json fed_runs))
+  in
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "\n===== trace soak data points (BENCH_trace.json) =====";
+  print_string json
+
 let () =
   if quick then begin
     selfheal_datapoints ();
@@ -908,7 +1008,8 @@ let () =
     chaos_datapoints ();
     ha_datapoints ();
     overload_datapoints ();
-    federation_datapoints ()
+    federation_datapoints ();
+    trace_datapoints ()
   end
   else begin
     reproductions ();
@@ -918,5 +1019,6 @@ let () =
     chaos_datapoints ();
     ha_datapoints ();
     overload_datapoints ();
-    federation_datapoints ()
+    federation_datapoints ();
+    trace_datapoints ()
   end

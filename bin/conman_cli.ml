@@ -210,6 +210,8 @@ let selfheal ticks cycles =
     (Netsim.Link.drop_count seg "loss")
     (Netsim.Link.drop_count seg "corrupt")
     (Netsim.Link.drop_count seg "mtu");
+  Fmt.pr "monitor event-ring dropped: %d (of limit %d)@." (Monitor.dropped_events mon)
+    (Monitor.event_limit mon);
   Fmt.pr "end-to-end reachable: %b@." (Scenarios.diamond_reachable d)
 
 let selfheal_cmd =
@@ -234,6 +236,11 @@ let diag_rounds_arg =
 
 let diagnose fault rounds =
   let v = Scenarios.build_vpn () in
+  let obs = Observe.create () in
+  ignore
+    (Observe.attach_nm obs ~agents:v.Scenarios.agents ~transport:v.Scenarios.transport
+       ~admission:v.Scenarios.admission ~faults:v.Scenarios.faults
+       ~station:Scenarios.nm_station_id v.Scenarios.nm);
   let paths = Nm.find_paths v.Scenarios.nm v.Scenarios.goal in
   let pick = if fault = "mpls-xc" then Scenarios.pure_mpls else Scenarios.pure_gre in
   let path = List.find pick paths in
@@ -289,7 +296,11 @@ let diagnose fault rounds =
   Fmt.pr "@.management-channel fault counters:@.";
   Fmt.pr "  dropped=%d duplicated=%d delayed=%d crash-drops=%d partition-drops=%d@."
     c.Mgmt.Faults.dropped c.Mgmt.Faults.duplicated c.Mgmt.Faults.delayed
-    c.Mgmt.Faults.crash_drops c.Mgmt.Faults.partition_drops
+    c.Mgmt.Faults.crash_drops c.Mgmt.Faults.partition_drops;
+  (* bounded rings drop silently under pressure; a diagnosis that ignores
+     how much evidence was lost can be confidently wrong *)
+  Fmt.pr "@.ring-buffer drops (evidence silently discarded):@.";
+  List.iter (fun (ring, n) -> Fmt.pr "  %-24s %d@." ring n) (Observe.ring_dropped obs)
 
 let diagnose_cmd =
   Cmd.v
@@ -635,6 +646,125 @@ let federation_cmd =
       const federation $ fed_seeds_arg $ fed_ticks_arg $ fed_intensity_arg $ fed_quick_arg
       $ fed_replay_arg $ fed_out_arg)
 
+(* --- trace --------------------------------------------------------------------- *)
+
+module Fs = Federation.Fed_scenarios
+
+let trace_seed_arg =
+  Common_args.seed ~doc:"Seed for the chaos schedule driven under the traced goal." ()
+
+let trace_ticks_arg =
+  Common_args.ticks ~doc:"Chaos-phase length in ticks (default 10)." ()
+
+let trace_clean_arg =
+  let doc = "Trace a fault-free convergence instead of a chaos run." in
+  Arg.(value & flag & info [ "clean" ] ~doc)
+
+let trace_goal_arg =
+  let doc =
+    "Goal id (trace root span id) to render. Defaults to the cross-domain goal; 'all' renders \
+     every traced goal."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"GOAL" ~doc)
+
+(* Renders the end-to-end causal trace of the cross-domain federated goal:
+   both NMs' collectors are stitched, so the tree spans the coordinator's
+   plan/commit phases, the peer's delegated execution and every agent's
+   script run — under chaos, also the retries, sheds and replays. *)
+let trace goal seed ticks clean =
+  let ticks = Option.value ~default:10 ticks in
+  let render_goals cols default_goal =
+    let goals =
+      match goal with
+      | None -> (match default_goal with Some g -> [ g ] | None -> Obs.Trace.goals cols)
+      | Some "all" -> Obs.Trace.goals cols
+      | Some g -> (
+          match int_of_string_opt g with
+          | Some g -> [ g ]
+          | None -> Fmt.failwith "trace: GOAL must be a goal id or 'all' (got %s)" g)
+    in
+    List.iter
+      (fun g ->
+        Fmt.pr "goal %d (%d span(s), %s):@.%s@." g
+          (List.length (Obs.Trace.goal_spans cols g))
+          (if Obs.Trace.connected cols g then "connected" else "ORPHANED")
+          (Obs.Trace.render cols g))
+      goals;
+    List.for_all (fun g -> Obs.Trace.connected cols g) goals
+  in
+  let ok =
+    if clean then begin
+      Nm.set_incarnations 0;
+      Obs.Trace.reset_ids ();
+      let t = Fs.build_two_domain 4 in
+      let obs = Fs.instrument t in
+      let gid = Federation.Fed.submit t.Fs.fwest t.Fs.fgoal in
+      let converged = Fs.converge ~obs t gid in
+      Fmt.pr "fault-free two-domain run: converged=%b@.@." converged;
+      let root = Federation.Fed.goal_trace t.Fs.fwest gid in
+      converged
+      && render_goals (Observe.collectors obs)
+           (Option.map (fun c -> c.Obs.Trace.goal) root)
+    end
+    else begin
+      let sched = Chaos.Fed_engine.generate ~seed ~ticks () in
+      let r = Chaos.Fed_engine.run sched in
+      Fmt.pr
+        "two-domain chaos run (seed %d, %d ticks): converged=%b orphans=%d connected=%b@.@."
+        seed ticks
+        (r.Chaos.Fed_engine.converged_tick <> None)
+        r.Chaos.Fed_engine.orphan_spans r.Chaos.Fed_engine.trace_connected;
+      Fmt.pr "%s@." r.Chaos.Fed_engine.goal_trace;
+      Chaos.Fed_engine.failures r = []
+    end
+  in
+  if not ok then exit 1
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Achieve the cross-domain federated goal (under a seeded chaos schedule, or --clean) \
+          and render its end-to-end causal span tree across both NMs, their agents and the \
+          transport — one connected tree, or a nonzero exit")
+    Term.(const trace $ trace_goal_arg $ trace_seed_arg $ trace_ticks_arg $ trace_clean_arg)
+
+(* --- metrics ------------------------------------------------------------------- *)
+
+let metrics_clean_arg =
+  let doc = "Dump metrics from a fault-free convergence instead of a chaos run." in
+  Arg.(value & flag & info [ "clean" ] ~doc)
+
+let metrics_seed_arg = Common_args.seed ~doc:"Seed for the chaos schedule." ()
+let metrics_ticks_arg = Common_args.ticks ~doc:"Chaos-phase length in ticks (default 10)." ()
+
+(* Dumps the unified registry — every subsystem's counters under uniform
+   subsystem.name keys plus the per-phase latency histograms — as
+   jq-friendly JSON on stdout. *)
+let metrics seed ticks clean =
+  let ticks = Option.value ~default:10 ticks in
+  if clean then begin
+    Nm.set_incarnations 0;
+    Obs.Trace.reset_ids ();
+    let t = Fs.build_two_domain 4 in
+    let obs = Fs.instrument t in
+    let gid = Federation.Fed.submit t.Fs.fwest t.Fs.fgoal in
+    ignore (Fs.converge ~obs t gid);
+    print_string (Obs.Registry.to_json (Observe.registry obs))
+  end
+  else
+    let r = Chaos.Fed_engine.run (Chaos.Fed_engine.generate ~seed ~ticks ()) in
+    print_string r.Chaos.Fed_engine.metrics_json
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the two-domain federated deployment (chaos or --clean) and dump the unified \
+          metrics registry — all subsystem counters and goal-phase latency histograms — as \
+          jq-friendly JSON")
+    Term.(const metrics $ metrics_seed_arg $ metrics_ticks_arg $ metrics_clean_arg)
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -647,5 +777,5 @@ let () =
        (Cmd.group info
           [
             repro_cmd; demo_cmd; paths_cmd; debug_cmd; selfheal_cmd; diagnose_cmd; chaos_cmd;
-            ha_cmd; overload_cmd; federation_cmd;
+            ha_cmd; overload_cmd; federation_cmd; trace_cmd; metrics_cmd;
           ]))

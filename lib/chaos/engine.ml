@@ -82,6 +82,11 @@ type report = {
   trace : string list; (* monitor event log, across NM incarnations *)
   ha : ha_stats;
   overload : overload_stats;
+  goal_trace : string; (* rendered span tree of the initial achieve goal *)
+  orphan_spans : int; (* across every traced goal — a lost context if nonzero *)
+  phase_samples : (string * int list) list;
+  (* raw latency samples (ha.failover_detect_ticks) for cross-run merging *)
+  metrics_json : string; (* the run's full registry dump *)
 }
 
 let failures r = List.filter (fun v -> not v.ok) r.verdicts
@@ -105,7 +110,10 @@ let pp_report ppf r =
       r.overload.storm_frames r.overload.p0_shed r.overload.p1_shed r.overload.p2_shed
       r.overload.p3_shed r.overload.p3_expired r.overload.p3_queue_high_water
       (Int64.div r.overload.telemetry_final_period_ns 1_000_000L)
-      r.overload.telemetry_backoffs
+      r.overload.telemetry_backoffs;
+  (* a violated invariant ships with the goal's causal trace *)
+  if List.exists (fun v -> not v.ok) r.verdicts && r.goal_trace <> "" then
+    Fmt.pf ppf "  goal trace:@.%s@." r.goal_trace
 
 (* Same notion of structural state as the monitor's drift check: show_actual
    keys, qualified by module, minus transient pending[..] negotiation
@@ -142,7 +150,13 @@ let run ?(config = default_config) (sched : Schedule.t) =
      regardless of how many NMs ran before. Safe because everything below
      lives on a freshly built testbed. *)
   Nm.set_incarnations 0;
+  Obs.Trace.reset_ids ();
   let d = Scenarios.build_diamond ~fault_seed:sched.Schedule.seed () in
+  let obs = Observe.create () in
+  ignore
+    (Observe.attach_nm obs ~agents:d.Scenarios.dagents ~transport:d.Scenarios.dtransport
+       ~admission:d.Scenarios.dadmission ~faults:d.Scenarios.dfaults
+       ~station:Scenarios.nm_station_id d.Scenarios.dnm);
   let net = d.Scenarios.dtb.Testbeds.dia_net in
   let eq = Net.eq net in
   let faults = d.Scenarios.dfaults in
@@ -180,7 +194,12 @@ let run ?(config = default_config) (sched : Schedule.t) =
       replay_horizon_ns = Some config.monitor.Monitor.interval_ns;
     }
   in
+  ignore (Observe.attach_nm obs ~prefix:"standby" ~station:Scenarios.standby_station_id standby_nm);
   let ha_p, ha_s = Ha.pair ~config:ha_config ~primary:d.Scenarios.dnm ~standby:standby_nm () in
+  Observe.attach_ha ~prefix:"primary" obs ha_p;
+  Observe.attach_ha ~prefix:"standby" obs ha_s;
+  Observe.attach_net obs net;
+  Observe.attach_rings obs;
   let nodes = [ ha_p; ha_s ] in
   (* [acting] is the node whose monitor drives reconciliation; it trails
      actual leadership by at most the moment the switch is noticed below *)
@@ -191,7 +210,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
   let tel = ref (Telemetry.create ~scope (Ha.nm ha_p)) in
   let mk_monitor nm =
     let t = Telemetry.create ~scope nm in
-    Telemetry.set_shed_probe t (fun () -> Mgmt.Admission.shed_total adm);
+    Telemetry.set_shed_probe t (fun () -> Mgmt.Admission.lost_total adm);
     tel := t;
     Monitor.create ~config:config.monitor ~telemetry:t nm
   in
@@ -383,6 +402,7 @@ let run ?(config = default_config) (sched : Schedule.t) =
          ~deadline:(Int64.add (Event_queue.now eq) config.monitor.Monitor.interval_ns))
   in
   let ha_tick tick =
+    Observe.set_tick obs tick;
     Ha.tick ha_p ~tick;
     Ha.tick ha_s ~tick;
     observe_leadership ();
@@ -568,6 +588,9 @@ let run ?(config = default_config) (sched : Schedule.t) =
         in
         match promos with t :: _ -> Some (t - c) | [] -> None)
   in
+  (match detection_ticks with
+  | Some d -> Obs.Registry.observe (Observe.registry obs) "ha.failover_detect_ticks" d
+  | None -> ());
   let v_single_primary =
     let ok = !split_brain = 0 && !epoch_conflicts = [] in
     {
@@ -715,6 +738,16 @@ let run ?(config = default_config) (sched : Schedule.t) =
     }
   in
   let trace = !trace @ List.map (Fmt.str "%a" Monitor.pp_event) (Monitor.events !mon) in
+  let cols = Observe.collectors obs in
+  let goal_trace =
+    (* the first traced goal is the initial achieve; later roots are
+       monitor repairs and back-outs *)
+    match Obs.Trace.goals cols with g :: _ -> Obs.Trace.render cols g | [] -> ""
+  in
+  let orphan_spans =
+    List.fold_left (fun acc g -> acc + List.length (Obs.Trace.orphans cols g)) 0
+      (Obs.Trace.goals cols)
+  in
   {
     verdicts =
       [
@@ -747,4 +780,10 @@ let run ?(config = default_config) (sched : Schedule.t) =
         telemetry_final_period_ns = Telemetry.period_ns !tel;
         telemetry_backoffs = Telemetry.backoffs !tel;
       };
+    goal_trace;
+    orphan_spans;
+    phase_samples =
+      [ ("ha.failover_detect_ticks",
+         Obs.Registry.samples (Observe.registry obs) "ha.failover_detect_ticks") ];
+    metrics_json = Obs.Registry.to_json (Observe.registry obs);
   }

@@ -61,6 +61,14 @@ type report = {
   trace : string list;  (** monitor event log, across NM incarnations *)
   ha : ha_stats;
   overload : overload_stats;
+  goal_trace : string;
+      (** the initial achieve goal's rendered span tree, attached to every
+          report so a violated invariant ships with its causal history *)
+  orphan_spans : int;  (** across every traced goal — a lost context if nonzero *)
+  phase_samples : (string * int list) list;
+      (** raw latency samples ([ha.failover_detect_ticks]) so a soak can
+          merge histograms across seeds before taking percentiles *)
+  metrics_json : string;  (** the run's full {!Conman.Obs.Registry} dump *)
 }
 
 val run : ?config:config -> Schedule.t -> report

@@ -38,6 +38,14 @@ type report = {
   half_configured : int; (* devices neither pristine nor fully configured at the end *)
   commits_received : int;
   aborts_received : int;
+  goal_trace : string; (* rendered span tree of the cross-domain goal *)
+  orphan_spans : int; (* spans whose parent vanished — must be 0 *)
+  trace_connected : bool;
+  total_spans : int; (* spans in the goal's tree *)
+  phase_samples : (string * int list) list;
+  (* raw per-phase latency samples (fed.plan/commit/abort_ticks) so a
+     soak can merge histograms across seeds before taking percentiles *)
+  metrics_json : string; (* the run's full registry dump *)
 }
 
 let failures r = List.filter (fun v -> not v.ok) r.verdicts
@@ -49,7 +57,11 @@ let pp_verdict ppf v =
 let pp_report ppf r =
   List.iter (fun v -> Fmt.pf ppf "%a@." pp_verdict v) r.verdicts;
   Fmt.pf ppf "replans=%d backouts=%d relays=%d commits=%d aborts=%d@." r.replans r.backouts
-    r.relays r.commits_received r.aborts_received
+    r.relays r.commits_received r.aborts_received;
+  (* a violated invariant ships with the goal's causal trace: the span
+     tree is the first thing one reads when triaging a repro *)
+  if List.exists (fun v -> not v.ok) r.verdicts && r.goal_trace <> "" then
+    Fmt.pf ppf "goal trace:@.%s@." r.goal_trace
 
 (* --- schedule generation -------------------------------------------------- *)
 
@@ -139,7 +151,11 @@ let baselines () =
 let run (sched : Schedule.t) =
   let pristine, configured = baselines () in
   Nm.set_incarnations 0;
+  (* span ids feed the rendered tree: pin the allocator so the same
+     schedule always yields the same trace *)
+  Obs.Trace.reset_ids ();
   let t = Fs.build_two_domain ~fault_seed:sched.Schedule.seed chain_n in
+  let obs = Fs.instrument t in
   let faults = t.Fs.ffaults in
   let net = Nm.net (Fed.nm t.Fs.fwest) in
   let eq = Netsim.Net.eq net in
@@ -184,6 +200,7 @@ let run (sched : Schedule.t) =
      network advances one bounded interval. A crashed station's node is
      not ticked — the process is down; its state survives for restart. *)
   let fed_tick tick =
+    Observe.set_tick obs tick;
     if not (Mgmt.Faults.is_crashed faults Fs.west_station) then Fed.tick t.Fs.fwest ~tick;
     if not (Mgmt.Faults.is_crashed faults Fs.east_station) then Fed.tick t.Fs.feast ~tick;
     ignore (Netsim.Net.run_until net ~deadline:(Int64.add (Netsim.Event_queue.now eq) interval_ns))
@@ -268,8 +285,34 @@ let run (sched : Schedule.t) =
           detail = "diverges from the single-NM run on " ^ String.concat ", " (List.map fst l);
         }
   in
+  (* Trace connectivity: every span minted on the goal's behalf — by
+     either NM, any agent, the transport's retry events — must hang off
+     the single "fed-goal" root; an orphan means a context was lost
+     crossing a layer. *)
+  let cols = Observe.collectors obs in
+  let goal_id =
+    match Fed.goal_trace t.Fs.fwest gid with
+    | Some ctx -> Some ctx.Obs.Trace.goal
+    | None -> None
+  in
+  let goal_trace, orphan_spans, trace_connected =
+    match goal_id with
+    | None -> ("", 0, false)
+    | Some g -> (Obs.Trace.render cols g, List.length (Obs.Trace.orphans cols g), Obs.Trace.connected cols g)
+  in
+  let v_trace =
+    {
+      name = "trace-connected";
+      ok = trace_connected && orphan_spans = 0;
+      detail =
+        (if trace_connected then
+           Printf.sprintf "%d span(s), one root, zero orphans"
+             (match goal_id with Some g -> List.length (Obs.Trace.goal_spans cols g) | None -> 0)
+         else Printf.sprintf "%d orphan span(s)" orphan_spans);
+    }
+  in
   {
-    verdicts = [ v_convergence; v_half; v_boundary; v_parity ];
+    verdicts = [ v_convergence; v_half; v_boundary; v_parity; v_trace ];
     converged_tick = !converged;
     replans = Fed.replans t.Fs.fwest;
     backouts = Fed.backouts t.Fs.fwest;
@@ -278,4 +321,14 @@ let run (sched : Schedule.t) =
     half_configured = List.length half;
     commits_received = Fed.commits_received t.Fs.feast + Fed.commits_received t.Fs.fwest;
     aborts_received = Fed.aborts_received t.Fs.feast + Fed.aborts_received t.Fs.fwest;
+    goal_trace;
+    orphan_spans;
+    trace_connected;
+    total_spans =
+      (match goal_id with Some g -> List.length (Obs.Trace.goal_spans cols g) | None -> 0);
+    phase_samples =
+      List.map
+        (fun k -> (k, Obs.Registry.samples (Observe.registry obs) k))
+        [ "fed.plan_ticks"; "fed.commit_ticks"; "fed.abort_ticks" ];
+    metrics_json = Obs.Registry.to_json (Observe.registry obs);
   }

@@ -21,6 +21,18 @@ type report = {
       (** devices neither pristine nor fully configured at the end — must be 0 *)
   commits_received : int;
   aborts_received : int;
+  goal_trace : string;
+      (** the cross-domain goal's rendered span tree, attached to every
+          report so a violated invariant ships with its causal history *)
+  orphan_spans : int;  (** spans whose parent vanished — must be 0 *)
+  trace_connected : bool;
+      (** one root, zero orphans across both NMs' collectors *)
+  total_spans : int;  (** spans in the goal's tree *)
+  phase_samples : (string * int list) list;
+      (** raw per-phase latency samples ([fed.plan_ticks],
+          [fed.commit_ticks], [fed.abort_ticks]) so a soak can merge
+          histograms across seeds before taking percentiles *)
+  metrics_json : string;  (** the run's full {!Conman.Obs.Registry} dump *)
 }
 
 val generate : ?intensity:float -> seed:int -> ticks:int -> unit -> Schedule.t

@@ -34,6 +34,12 @@ type t = {
      this mark is the newest mutation the agent knows of and may safely
      be re-run (see the Bundle cache-hit arm). *)
   mutable max_exec_req : int;
+  mutable obs : Obs.Trace.t option;
+      (* span collector, shared with the domain's NM so agent-side spans
+         and events land in the same goal tree; None = tracing off *)
+  mutable cur_trace : Obs.Trace.ctx option;
+      (* context of the frame being dispatched: parents the exec span and
+         rides back out on every reply/trigger/convey sent while set *)
 }
 
 let done_cache_max = 256
@@ -55,6 +61,14 @@ let find_module_exn t mref =
   | None -> failwith (Fmt.str "%s: no module %a" t.device.Netsim.Device.dev_name Ids.pp mref)
 
 let send t msg =
+  (* anything emitted while a traced frame is being dispatched — replies,
+     but also triggers and conveys its execution provoked — carries the
+     causing goal's context back to the NM *)
+  let msg =
+    match t.cur_trace with
+    | Some ctx when Wire.trace_of msg = None -> Wire.Traced { ctx; msg }
+    | _ -> msg
+  in
   Mgmt.Channel.send t.chan ~src:t.device.Netsim.Device.dev_id ~dst:t.nm_device (Wire.encode msg)
 
 (* Re-polls every module until no one makes further progress; modules call
@@ -145,6 +159,11 @@ and dispatch t ~src msg =
   | Wire.Fenced { epoch; msg } ->
       (* nested fences should not occur; honour the innermost epoch *)
       handle_msg t ~src ~epoch msg
+  | Wire.Traced { ctx; msg } ->
+      (* remember the goal context for the duration of the dispatch *)
+      t.cur_trace <- Some ctx;
+      dispatch t ~src msg;
+      t.cur_trace <- None
   | Wire.Show_potential_req { req } ->
       let modules =
         List.map (fun m -> (m.Module_impl.mref, m.Module_impl.abstraction ())) t.modules
@@ -172,6 +191,9 @@ and dispatch t ~src msg =
              would leave the replayed create standing forever. The
              request-id guard keeps a stale delete retry from clobbering
              state a newer script has since rebuilt. *)
+          (match (t.obs, t.cur_trace) with
+          | Some obs, Some ctx -> Obs.Trace.event obs ctx "replayed-from-cache"
+          | _ -> ());
           if req >= t.max_exec_req && cmds <> [] && List.for_all Primitive.is_deletion cmds
           then begin
             t.max_exec_req <- req;
@@ -192,6 +214,12 @@ and dispatch t ~src msg =
                     t.annex.Wire.domains;
               reporter = (match annex.Wire.reporter with Some r -> Some r | None -> t.annex.Wire.reporter);
             };
+          let span =
+            match (t.obs, t.cur_trace) with
+            | Some obs, Some parent ->
+                Some (obs, Obs.Trace.start ~parent obs ("exec:" ^ t.device.Netsim.Device.dev_id))
+            | _ -> None
+          in
           let reply =
             try
               List.iter (exec_primitive t) cmds;
@@ -199,6 +227,13 @@ and dispatch t ~src msg =
               Wire.Bundle_ack { req }
             with Failure e | Devconf.Linux_cli.Error e -> Wire.Bundle_err { req; error = e }
           in
+          (match span with
+          | Some (obs, ctx) ->
+              let status =
+                match reply with Wire.Bundle_ack _ -> "ok" | _ -> "failed: exec"
+              in
+              Obs.Trace.finish obs ctx ~status
+          | None -> ());
           remember_done t req reply;
           send t reply)
   | Wire.Self_test_req { req; target; against } -> (
@@ -271,6 +306,8 @@ let create ~chan ~nm_device device =
       done_reqs = Hashtbl.create 64;
       done_order = Queue.create ();
       max_exec_req = 0;
+      obs = None;
+      cur_trace = None;
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:device.Netsim.Device.dev_id (fun ~src payload ->
@@ -294,6 +331,15 @@ let announce t net =
                     (Netsim.Device.port d pi).Netsim.Device.port_name )))
   in
   send t (Wire.Hello { ports })
+
+let set_obs t obs = t.obs <- Some obs
+
+let obs_counters t =
+  [
+    ("fenced_rejects", t.fenced_rejects);
+    ("takeover_rejects", t.takeover_rejects);
+    ("malformed_drops", t.malformed_drops);
+  ]
 
 let modules t = t.modules
 let nm_device t = t.nm_device

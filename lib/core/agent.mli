@@ -51,3 +51,17 @@ val takeover_rejects : t -> int
 val malformed_drops : t -> int
 (** Undecodable frames dropped instead of raising out of the channel
     handler (corruption, fuzzing, buggy peers). *)
+
+(** {2 Tracing and metrics (see {!Obs})} *)
+
+val set_obs : t -> Obs.Trace.t -> unit
+(** Attaches a span collector — share the domain NM's so agent-side exec
+    spans land in the same goal tree. A traced bundle's fresh execution
+    opens an [exec:<device>] child span; a retry answered from the reply
+    cache adds a [replayed-from-cache] event to the requesting span
+    instead (never a second span). Replies, and any triggers or conveys
+    the execution provokes, carry the goal context back on the wire. *)
+
+val obs_counters : t -> (string * int) list
+(** The agent's drop counters in registry-source form
+    ([fenced_rejects], [takeover_rejects], [malformed_drops]). *)

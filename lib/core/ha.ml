@@ -361,3 +361,17 @@ let inflight_seen t = t.stats.inflight_seen
 let replayed t = t.stats.replayed
 let promotion_ticks t = List.rev t.stats.promotion_ticks
 let replica_inflight_count t = List.length t.replica_inflight
+
+(* Registry-source form of the stats (see Obs.Registry in lib/obs). *)
+let obs_counters t =
+  [
+    ("promotions", t.stats.promotions);
+    ("demotions", t.stats.demotions);
+    ("heartbeats_sent", t.stats.heartbeats_sent);
+    ("heartbeats_seen", t.stats.heartbeats_seen);
+    ("stale_rejects", t.stats.stale_rejects);
+    ("entries_shipped", t.stats.entries_shipped);
+    ("entries_applied", t.stats.entries_applied);
+    ("inflight_seen", t.stats.inflight_seen);
+    ("replayed", t.stats.replayed);
+  ]

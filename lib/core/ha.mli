@@ -100,3 +100,7 @@ val promotion_ticks : t -> int list
 (** Tick numbers at which this node promoted, oldest first. *)
 
 val replica_inflight_count : t -> int
+
+val obs_counters : t -> (string * int) list
+(** The stats in registry-source form (e.g. [("promotions", n)]) for
+    [Obs.Registry.register]. *)

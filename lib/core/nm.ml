@@ -67,6 +67,21 @@ type t = {
          Ha ships the delta to the standby *)
   mutable on_confirm : (int -> unit) option;
       (* fired when an in-flight request is confirmed (left the set) *)
+  mutable obs : Obs.Trace.t option;
+      (* span collector; None = tracing off, all span work is skipped *)
+  mutable trace_ctx : Obs.Trace.ctx option;
+      (* the ambient span goal-scoped operations run under: bundles sent
+         while it is set become its children (and carry the context on the
+         wire via Wire.Traced) *)
+  req_trace : (int, Obs.Trace.ctx) Hashtbl.t;
+      (* request id -> the span tracking that request; re-sends reuse the
+         span (an event, never a duplicate span) *)
+  mutable registry : Obs.Registry.t option;
+      (* metrics registry for phase-latency histograms *)
+  mutable rx_ctx : Obs.Trace.ctx option;
+      (* context carried by the frame currently being dispatched — the HA
+         and federation hooks read it to parent their spans on the
+         sender's *)
 }
 
 (* An NM holding a non-zero epoch fences everything it sends; agents drop
@@ -79,6 +94,53 @@ let send t ~dst msg =
   t.stats.sent <- t.stats.sent + 1;
   Mgmt.Channel.send t.chan ~src:t.my_id ~dst (encode_out t msg)
 
+(* Looks through the trace wrapper — matchers that compare bundle payloads
+   byte-wise (back-out cancellation, federation pending checks) must see
+   the bundle itself, whatever context it carries. *)
+let rec payload_of = function Wire.Traced { msg; _ } -> payload_of msg | m -> m
+
+(* Opens a span for a goal-scoped operation (achieve, back-out, repair)
+   and makes it the ambient parent of every request sent until the
+   matching [close_goal]. Nested opens chain naturally: a back-out inside
+   an achieve becomes its child. No-ops when tracing is off. *)
+let open_goal t name =
+  match t.obs with
+  | None -> None
+  | Some obs ->
+      let saved = t.trace_ctx in
+      let ctx =
+        match saved with
+        | Some parent -> Obs.Trace.start ~parent obs name
+        | None -> Obs.Trace.start obs name
+      in
+      t.trace_ctx <- Some ctx;
+      Some (ctx, saved)
+
+let close_goal t handle ~status =
+  match (t.obs, handle) with
+  | Some obs, Some (ctx, saved) ->
+      Obs.Trace.finish obs ctx ~status;
+      t.trace_ctx <- saved
+  | _ -> ()
+
+(* Closes the span tracking request [req]. Failover-replay spans also feed
+   the ha.failover_replay_ticks histogram: the ticks between the promoted
+   standby re-issuing its predecessor's request and the confirm. *)
+let finish_req t req status =
+  match (t.obs, Hashtbl.find_opt t.req_trace req) with
+  | Some obs, Some ctx ->
+      (match (t.registry, Obs.Trace.find obs ctx.Obs.Trace.span) with
+      | Some reg, Some s
+        when status = "ok"
+             && String.length s.Obs.Trace.s_name >= 7
+             && String.sub s.Obs.Trace.s_name 0 7 = "replay:" ->
+          Obs.Registry.observe reg "ha.failover_replay_ticks"
+            (max 0 (Obs.Trace.now obs - s.Obs.Trace.s_start))
+      | _ -> ());
+      Obs.Trace.finish obs ctx ~status;
+      Hashtbl.remove t.req_trace req
+  | _ -> ()
+
 (* Does this NM's administrative domain cover [dev]? Unset = legacy
    single-NM mode: everything is ours. *)
 let owns t dev =
@@ -88,6 +150,31 @@ let owns t dev =
    confirms (Bundle_ack / Ack / Bundle_err). *)
 let send_req t ~dst ~req msg =
   if not (owns t dst) then t.foreign_writes <- t.foreign_writes + 1;
+  (* Attach the trace context. A request already carrying one (a flush or
+     takeover replay of a stored wrapped message) just notes the attempt
+     on its existing span — re-sends must never mint duplicate spans. *)
+  let msg =
+    match t.obs with
+    | None -> msg
+    | Some obs -> (
+        match Wire.trace_of msg with
+        | Some ctx ->
+            Obs.Trace.event obs ctx "reissued";
+            msg
+        | None -> (
+            match Hashtbl.find_opt t.req_trace req with
+            | Some ctx ->
+                Obs.Trace.event obs ctx "reissued";
+                Wire.Traced { ctx; msg }
+            | None -> (
+                match t.trace_ctx with
+                | Some parent ->
+                    let ctx = Obs.Trace.start ~parent obs ("bundle:" ^ dst) in
+                    Obs.Trace.event obs ctx "sent";
+                    Hashtbl.replace t.req_trace req ctx;
+                    Wire.Traced { ctx; msg }
+                | None -> msg)))
+  in
   t.inflight <- (req, dst, msg) :: t.inflight;
   (match t.on_inflight_add with Some f -> f (req, dst, msg) | None -> ());
   send t ~dst msg
@@ -172,6 +259,13 @@ and handle_msg t ~src msg =
       (* NM-to-NM frames arrive fenced; the HA layer judges the epochs
          carried inside the messages themselves *)
       handle_msg t ~src msg
+  | Wire.Traced { ctx; msg } ->
+      (* replies come back traced; request-id correlation already ties
+         them to their spans. Remember the context for the duration of
+         the dispatch so the federation/HA hooks can parent on it. *)
+      t.rx_ctx <- Some ctx;
+      handle_msg t ~src msg;
+      t.rx_ctx <- None
   | Wire.Ha_heartbeat _ | Wire.Ha_journal _ | Wire.Ha_journal_ack _ | Wire.Ha_inflight _
   | Wire.Ha_confirm _ | Wire.Nm_takeover _ -> (
       (* HA traffic stays out of the Table-VI message accounting *)
@@ -204,6 +298,7 @@ and handle_msg t ~src msg =
       match msg with
       | Wire.Bundle_ack { req } | Wire.Ack { req } ->
           t.stats.acks <- t.stats.acks + 1;
+          finish_req t req "ok";
           confirm t req
       | Wire.Hello { ports } ->
           let recovered =
@@ -253,6 +348,7 @@ and handle_msg t ~src msg =
       | Wire.Completion { src = m; what } -> t.completions <- (m, what) :: t.completions
       | Wire.Bundle_err { req; error } ->
           (* the request reached the device; it failed rather than vanished *)
+          finish_req t req ("failed: " ^ error);
           confirm t req;
           t.errors <- (src, error) :: t.errors
       | Wire.Self_test_resp { req; target; ok; detail } ->
@@ -267,7 +363,7 @@ and handle_msg t ~src msg =
       | Wire.Show_potential_req _ | Wire.Show_actual_req _ | Wire.Show_perf_req _ | Wire.Bundle _
       | Wire.Self_test_req _ | Wire.Set_address _
       (* consumed by the outer match; listed for exhaustiveness *)
-      | Wire.Nm_takeover _ | Wire.Fenced _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _
+      | Wire.Nm_takeover _ | Wire.Fenced _ | Wire.Traced _ | Wire.Ha_heartbeat _ | Wire.Ha_journal _
       | Wire.Ha_journal_ack _ | Wire.Ha_inflight _ | Wire.Ha_confirm _ | Wire.Fed_advert _
       | Wire.Fed_plan_req _ | Wire.Fed_plan_resp _ | Wire.Fed_plan_err _ | Wire.Fed_commit _
       | Wire.Fed_commit_ack _ | Wire.Fed_commit_err _ | Wire.Fed_abort _ | Wire.Fed_abort_ack _
@@ -315,6 +411,11 @@ and create ?transport ?journal ~chan ~net ~my_id () =
       foreign_writes = 0;
       on_inflight_add = None;
       on_confirm = None;
+      obs = None;
+      trace_ctx = None;
+      req_trace = Hashtbl.create 32;
+      registry = None;
+      rx_ctx = None;
     }
   in
   Mgmt.Channel.subscribe chan ~device_id:my_id (fun ~src payload -> handle t ~src payload);
@@ -439,7 +540,7 @@ let devices_of_path (path : Path_finder.path) =
    never executed, the delete is an idempotent no-op. *)
 let cancel_unconfirmed t (script : Script_gen.script) =
   let belongs (_, dst, msg) =
-    match msg with
+    match payload_of msg with
     | Wire.Bundle { cmds; _ } ->
         List.exists
           (fun (dev, prims) -> dev = dst && prims <> [] && cmds = prims)
@@ -453,7 +554,9 @@ let cancel_unconfirmed t (script : Script_gen.script) =
      the cancelled create after our back-out's delete has run and
      resurrects state nobody wants *)
   List.iter
-    (fun (req, _, _) -> match t.on_confirm with Some f -> f req | None -> ())
+    (fun (req, _, _) ->
+      finish_req t req "cancelled";
+      match t.on_confirm with Some f -> f req | None -> ())
     victims;
   (* also recall the transport's own retransmissions of those sends: a
      retry surviving in the timer wheel would otherwise deliver the create
@@ -470,10 +573,12 @@ let cancel_unconfirmed t (script : Script_gen.script) =
 (* Backs a partially-applied script out of the devices that still answer,
    and forgets it. *)
 let abort_script t (script : Script_gen.script) =
+  let g = open_goal t "backout" in
   cancel_unconfirmed t script;
   send_deletion_reachable t script;
   t.active_scripts <- List.filter (fun s -> s != script) t.active_scripts;
-  run t
+  run t;
+  close_goal t g ~status:"ok"
 
 (* The achievement pipeline without intent bookkeeping. [exclude] skips
    candidate paths by signature (the monitor's "next-best path" lever) and
@@ -527,13 +632,16 @@ let achieve ?(configure = true) ?max_attempts t goal =
   if not configure then achieve_raw ~configure:false ?max_attempts t goal
   else begin
     (* write-ahead: the intent is journalled before any device is touched *)
+    let g = open_goal t "achieve" in
     let intent = record_intent t (Intent.Connect goal) in
     match achieve_raw ~configure:true ?max_attempts t goal with
     | Ok (_, _, script) as ok ->
         bind_intent t intent script;
+        close_goal t g ~status:"ok";
         ok
     | Error e ->
         Intent.note_error intent e;
+        close_goal t g ~status:("failed: " ^ e);
         Error e
   end
 
@@ -589,7 +697,24 @@ let take_over ?epoch t =
     t.topo.Topology.devices;
   let pending = List.rev t.inflight in
   t.inflight <- [];
-  List.iter (fun (req, dst, msg) -> send_req t ~dst ~req msg) pending;
+  List.iter
+    (fun (req, dst, msg) ->
+      (* A replayed request carries the dead primary's context: open a
+         replay span here, parented on it, so the failover shows up in the
+         goal's tree under the new station (and new epoch). *)
+      let msg =
+        match t.obs with
+        | Some obs -> (
+            match Wire.trace_of msg with
+            | Some parent ->
+                let ctx = Obs.Trace.start ~parent obs ("replay:" ^ dst) in
+                Hashtbl.replace t.req_trace req ctx;
+                Wire.Traced { ctx; msg = payload_of msg }
+            | None -> msg)
+        | None -> msg
+      in
+      send_req t ~dst ~req msg)
+    pending;
   run t
 
 (* Assigns an address to an IP module — the task the paper deliberately
@@ -879,13 +1004,16 @@ let achieve_l2_raw ?(configure = true) t ~scope ~from_eth ~to_eth =
 let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
   if not configure then achieve_l2_raw ~configure:false t ~scope ~from_eth ~to_eth
   else begin
+    let g = open_goal t "achieve-l2" in
     let intent = record_intent t (Intent.Connect_l2 { scope; from_eth; to_eth }) in
     match achieve_l2_raw ~configure:true t ~scope ~from_eth ~to_eth with
     | Ok script as ok ->
         bind_intent t intent script;
+        close_goal t g ~status:"ok";
         ok
     | Error e ->
         Intent.note_error intent e;
+        close_goal t g ~status:("failed: " ^ e);
         Error e
   end
 
@@ -895,6 +1023,11 @@ let achieve_l2 ?(configure = true) t ~scope ~from_eth ~to_eth =
    still answer, then re-achieves. [exclude]/[avoid] steer layer-3 goals
    onto the next-best path. *)
 let reconfigure ?(exclude = []) ?(avoid = []) t (intent : Intent.t) =
+  let g = open_goal t "reconfigure" in
+  let finish res =
+    close_goal t g ~status:(match res with Ok () -> "ok" | Error e -> "failed: " ^ e);
+    res
+  in
   let back_out () =
     match intent.Intent.script with
     | Some old ->
@@ -921,6 +1054,8 @@ let reconfigure ?(exclude = []) ?(avoid = []) t (intent : Intent.t) =
             run t
         | None -> ())
   in
+  finish
+  @@
   match intent.Intent.spec with
   | Intent.Connect goal -> (
       (match intent.Intent.script with
@@ -1074,6 +1209,23 @@ let set_convey_relay t f = t.convey_relay <- Some f
 let set_owned_devices t l = t.owned_devices <- Some l
 let foreign_writes t = t.foreign_writes
 
+(* --- observability support (wired by Scenarios and the engines) ---------------- *)
+
+let set_obs t obs = t.obs <- Some obs
+let obs t = t.obs
+let set_registry t reg = t.registry <- Some reg
+let set_trace_ctx t c = t.trace_ctx <- c
+let trace_ctx t = t.trace_ctx
+let rx_ctx t = t.rx_ctx
+
+let obs_counters t =
+  [
+    ("sent", t.stats.sent);
+    ("received", t.stats.received);
+    ("acks", t.stats.acks);
+    ("foreign_writes", t.foreign_writes);
+  ]
+
 (* Ships a ready-made script (a delegated slice of a federated goal, or
    the coordinator's own segment) and starts maintaining it. Deliberately
    does NOT run the network: the federation layer calls this from inside
@@ -1088,7 +1240,7 @@ let run_script t (script : Script_gen.script) =
 let script_pending t (script : Script_gen.script) =
   List.exists
     (fun (_, dst, msg) ->
-      match msg with
+      match payload_of msg with
       | Wire.Bundle { cmds; _ } ->
           List.exists
             (fun (dev, prims) -> dev = dst && prims <> [] && cmds = prims)

@@ -260,6 +260,39 @@ val abort_script : t -> Script_gen.script -> unit
     (unreachable ones are owed the deletions and settled on recovery) and
     stops maintaining it. *)
 
+(** {2 Tracing and metrics (see {!Obs})} *)
+
+val set_obs : t -> Obs.Trace.t -> unit
+(** Attaches a span collector. From here on every goal-scoped operation
+    ({!achieve}, {!achieve_l2}, back-outs, {!reconfigure}) opens a span,
+    every state-changing request sent under one becomes a child span, and
+    the context rides on the wire via {!Wire.Traced} so agents and peer
+    NMs parent their own spans into the same goal tree. Re-sends (flush,
+    takeover replay) add events to the existing span, never new spans. *)
+
+val obs : t -> Obs.Trace.t option
+
+val set_registry : t -> Obs.Registry.t -> unit
+(** Attaches the metrics registry; the NM feeds the
+    [ha.failover_replay_ticks] histogram (confirm latency of requests a
+    promoted standby replayed). *)
+
+val set_trace_ctx : t -> Obs.Trace.ctx option -> unit
+(** Overrides the ambient span requests are parented under — the
+    federation layer sets this around delegated-slice execution so a
+    peer's bundles join the coordinator's goal tree. *)
+
+val trace_ctx : t -> Obs.Trace.ctx option
+
+val rx_ctx : t -> Obs.Trace.ctx option
+(** The context carried by the frame currently being dispatched (valid
+    only inside a receive hook) — HA/federation handlers parent their
+    spans on it so cross-NM work joins the sender's goal tree. *)
+
+val obs_counters : t -> (string * int) list
+(** The NM's counters in registry-source form ([sent], [received],
+    [acks], [foreign_writes]). *)
+
 (** {1 Observation} *)
 
 val reset_stats : t -> unit

@@ -1,0 +1,55 @@
+(* Sexp codec for the trace context and spans (lib/obs is below Sexp in
+   the dependency order, so the codec lives here). The context rides on
+   Wire frames via [Wire.Traced]; the span codec is used to export whole
+   traces (CLI, violation reports) in a replayable form. *)
+
+let ctx_to_sexp (c : Obs.Trace.ctx) =
+  Sexp.List [ Sexp.of_int c.Obs.Trace.goal; Sexp.of_int c.Obs.Trace.span; Sexp.of_int c.Obs.Trace.parent ]
+
+let ctx_of_sexp = function
+  | Sexp.List [ goal; span; parent ] ->
+      { Obs.Trace.goal = Sexp.to_int goal; span = Sexp.to_int span; parent = Sexp.to_int parent }
+  | _ -> raise (Sexp.Parse_error "trace ctx")
+
+let span_to_sexp (s : Obs.Trace.span) =
+  let a = Sexp.atom in
+  Sexp.List
+    [
+      Sexp.of_int s.Obs.Trace.s_goal;
+      Sexp.of_int s.Obs.Trace.s_id;
+      Sexp.of_int s.Obs.Trace.s_parent;
+      a s.Obs.Trace.s_name;
+      a s.Obs.Trace.s_station;
+      Sexp.of_int s.Obs.Trace.s_start;
+      Sexp.of_int s.Obs.Trace.s_end;
+      a s.Obs.Trace.s_status;
+      Sexp.List
+        (List.map (fun (tick, what) -> Sexp.List [ Sexp.of_int tick; a what ]) s.Obs.Trace.s_events);
+    ]
+
+let span_of_sexp = function
+  | Sexp.List [ goal; id; parent; name; station; start; end_; status; Sexp.List events ] ->
+      {
+        Obs.Trace.s_goal = Sexp.to_int goal;
+        s_id = Sexp.to_int id;
+        s_parent = Sexp.to_int parent;
+        s_name = Sexp.to_atom name;
+        s_station = Sexp.to_atom station;
+        s_start = Sexp.to_int start;
+        s_end = Sexp.to_int end_;
+        s_status = Sexp.to_atom status;
+        s_events =
+          List.map
+            (function
+              | Sexp.List [ tick; what ] -> (Sexp.to_int tick, Sexp.to_atom what)
+              | _ -> raise (Sexp.Parse_error "span event"))
+            events;
+      }
+  | _ -> raise (Sexp.Parse_error "span")
+
+let span_to_string s = Sexp.to_string (span_to_sexp s)
+
+let span_of_string str =
+  try span_of_sexp (Sexp.of_string str) with
+  | Sexp.Parse_error _ as e -> raise e
+  | _ -> raise (Sexp.Parse_error "undecodable span")

@@ -21,7 +21,7 @@ val period_ns : t -> int64
 val set_shed_probe : t -> (unit -> int) -> unit
 (** Wires overload feedback into the poller: [probe] returns a monotonic
     count of telemetry payloads shed or expired by the admission layer
-    (e.g. {!Mgmt.Admission.shed_total}). On every {!maybe_scrape}, growth
+    (e.g. {!Mgmt.Admission.lost_total}). On every {!maybe_scrape}, growth
     since the last look doubles the scrape period (capped at 8× base —
     graceful degradation, the NM stops feeding the storm) and a quiet
     interval halves it back towards the base. *)

@@ -29,6 +29,11 @@ type t =
      sends, so agents can reject frames from a deposed primary. Unwrapped
      frames are treated as epoch 0 (the single-NM legacy mode). *)
   | Fenced of { epoch : int; msg : t }
+  (* Trace context piggyback: a goal-bearing frame (bundle, federation
+     message) carries the span doing the work, so the receiving station
+     can parent its own spans correctly and lower layers can attribute
+     retries/sheds to the goal. Unwrapped frames simply have no trace. *)
+  | Traced of { ctx : Obs.Trace.ctx; msg : t }
   (* NM <-> NM high availability (lib/core/ha.ml): heartbeats for failure
      detection and continuous journal/in-flight replication to the standby *)
   | Ha_heartbeat of { epoch : int; seq : int }
@@ -130,6 +135,7 @@ let rec to_sexp msg =
         [ a "bundle"; Sexp.of_int req; Sexp.List (List.map Primitive.to_sexp cmds); annex_to_sexp annex ]
   | Nm_takeover { nm; epoch } -> Sexp.List [ a "nm-takeover"; a nm; Sexp.of_int epoch ]
   | Fenced { epoch; msg } -> Sexp.List [ a "fenced"; Sexp.of_int epoch; to_sexp msg ]
+  | Traced { ctx; msg } -> Sexp.List [ a "traced"; Obs_codec.ctx_to_sexp ctx; to_sexp msg ]
   | Ha_heartbeat { epoch; seq } ->
       Sexp.List [ a "ha-heartbeat"; Sexp.of_int epoch; Sexp.of_int seq ]
   | Ha_journal { epoch; seq; entry } ->
@@ -267,6 +273,8 @@ let rec of_sexp sexp =
       Nm_takeover { nm = s nm; epoch = Sexp.to_int epoch }
   | Sexp.List [ Sexp.Atom "fenced"; epoch; msg ] ->
       Fenced { epoch = Sexp.to_int epoch; msg = of_sexp msg }
+  | Sexp.List [ Sexp.Atom "traced"; ctx; msg ] ->
+      Traced { ctx = Obs_codec.ctx_of_sexp ctx; msg = of_sexp msg }
   | Sexp.List [ Sexp.Atom "ha-heartbeat"; epoch; seq ] ->
       Ha_heartbeat { epoch = Sexp.to_int epoch; seq = Sexp.to_int seq }
   | Sexp.List [ Sexp.Atom "ha-journal"; epoch; seq; entry ] ->
@@ -415,7 +423,7 @@ let decode b =
    The class of a fenced frame is the class of what it carries. *)
 let rec priority_of = function
   | Ha_heartbeat _ | Nm_takeover _ -> 0
-  | Fenced { msg; _ } -> priority_of msg
+  | Fenced { msg; _ } | Traced { msg; _ } -> priority_of msg
   | Bundle _ | Bundle_ack _ | Bundle_err _ | Ack _ | Set_address _ | Ha_journal _
   | Ha_journal_ack _ | Ha_inflight _ | Ha_confirm _
   (* inter-NM federation traffic rides with scripts: a shed advert or
@@ -429,6 +437,12 @@ let rec priority_of = function
   | Convey _ ->
       2
   | Show_perf_req _ | Show_perf_resp _ -> 3
+
+(* The trace context a frame carries, looking through fences. *)
+let rec trace_of = function
+  | Traced { ctx; _ } -> Some ctx
+  | Fenced { msg; _ } -> trace_of msg
+  | _ -> None
 
 let equal a b = to_sexp a = to_sexp b
 let pp ppf t = Sexp.pp ppf (to_sexp t)

@@ -30,6 +30,10 @@ type t =
       (** leadership fence: an NM holding a non-zero epoch wraps every frame
           it sends so agents can reject a deposed primary; unwrapped frames
           are epoch 0 (single-NM legacy mode) *)
+  | Traced of { ctx : Obs.Trace.ctx; msg : t }
+      (** trace-context piggyback: which goal/span this frame works for, so
+          the receiver parents its spans correctly and lower layers can
+          attribute retries and sheds; untraced frames carry no context *)
   | Ha_heartbeat of { epoch : int; seq : int }
       (** primary -> standby liveness beacon for the failure detector *)
   | Ha_journal of { epoch : int; seq : int; entry : Intent.entry }
@@ -113,8 +117,12 @@ val priority_of : t -> int
 (** Admission-control class: 0 = heartbeats/takeovers (never shed),
     1 = scripts/back-outs/replication/inter-NM federation,
     2 = probes/showState, 3 = telemetry showPerf (shed first). {!Fenced}
-    frames take the class of the message they carry. See
+    and {!Traced} frames take the class of the message they carry. See
     {!Mgmt.Admission}. *)
+
+val trace_of : t -> Obs.Trace.ctx option
+(** The trace context a frame carries, looking through {!Fenced} and
+    {!Traced} nesting; [None] for untraced frames. *)
 
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -68,6 +68,9 @@ type delegated = {
   mutable d_abort_requested : bool;
   mutable d_aborted : bool;
   mutable d_abort_ack_owed : bool;
+  d_trace : Obs.Trace.ctx option;
+      (* our span for this delegated slice, parented on the coordinator's
+         commit span (carried by the Fed_commit frame) *)
 }
 
 type phase =
@@ -96,6 +99,8 @@ type goal_run = {
   mutable gr_age : int; (* ticks spent in the current phase *)
   mutable gr_replans : int; (* rounds restarted after a plan error or back-out *)
   mutable gr_backouts : int; (* distributed back-outs driven *)
+  mutable gr_trace : Obs.Trace.ctx option; (* root span of the goal's trace *)
+  mutable gr_phase_ctx : Obs.Trace.ctx option; (* span of the current phase *)
 }
 
 type stats = {
@@ -116,9 +121,59 @@ type t = {
   mutable delegated : delegated list;
   mutable plan_reqs : int;
   stats : stats;
+  mutable registry : Obs.Registry.t option; (* phase-latency histograms *)
 }
 
 let send t ~dst msg = Nm.send_msg t.nm ~dst msg
+
+(* --- tracing: one root span per goal run, one child span per phase ------------- *)
+
+let obs t = Nm.obs t.nm
+
+(* The goal's root span, opened lazily (a replan rejoins the same root). *)
+let goal_ctx t g =
+  match obs t with
+  | None -> None
+  | Some o -> (
+      match g.gr_trace with
+      | Some _ as c -> c
+      | None ->
+          let ctx = Obs.Trace.start o "fed-goal" in
+          g.gr_trace <- Some ctx;
+          Some ctx)
+
+let open_phase t g name =
+  match (obs t, goal_ctx t g) with
+  | Some o, Some root ->
+      let ctx = Obs.Trace.start ~parent:root o name in
+      g.gr_phase_ctx <- Some ctx
+  | _ -> ()
+
+let close_phase t g ~status =
+  match (obs t, g.gr_phase_ctx) with
+  | Some o, Some ctx ->
+      Obs.Trace.finish o ctx ~status;
+      g.gr_phase_ctx <- None
+  | _ -> ()
+
+let close_goal t g ~status =
+  close_phase t g ~status;
+  match (obs t, g.gr_trace) with
+  | Some o, Some ctx -> Obs.Trace.finish o ctx ~status
+  | _ -> ()
+
+let observe_phase t key v =
+  match t.registry with Some r -> Obs.Registry.observe r key v | None -> ()
+
+(* Wraps an outgoing inter-NM frame in the given context (if tracing). *)
+let traced ctx msg = match ctx with Some c -> Wire.Traced { ctx = c; msg } | None -> msg
+
+(* Runs [f] with the NM's ambient span set to [ctx], so any bundles it
+   ships become children of that span. *)
+let with_nm_ctx t ctx f =
+  let saved = Nm.trace_ctx t.nm in
+  Nm.set_trace_ctx t.nm ctx;
+  Fun.protect ~finally:(fun () -> Nm.set_trace_ctx t.nm saved) f
 let owns t dev = List.mem dev t.devices
 let owner_peer t dev = List.find_opt (fun p -> p.p_seen && List.mem dev p.p_devices) t.peers
 let peer_by_station t st = List.find_opt (fun p -> p.p_station = st) t.peers
@@ -187,12 +242,29 @@ let segment_walk t ~entry_dev ~target_dev =
   if owns t entry_dev then bfs [ (entry_dev, []) ] [ entry_dev ] else None
 
 let answer_plan t ~src ~req ~entry_dev ~(target : Ids.t) =
+  (* our side of the plan expansion, parented on the coordinator's plan
+     span (the request frame carried its context) *)
+  let span =
+    match (obs t, Nm.rx_ctx t.nm) with
+    | Some o, Some parent -> Some (o, Obs.Trace.start ~parent o "plan-expand")
+    | _ -> None
+  in
+  let ctx = Option.map snd span in
+  let finish status =
+    match span with Some (o, c) -> Obs.Trace.finish o c ~status | None -> ()
+  in
   let topo = Nm.topology t.nm in
-  if not (owns t target.Ids.dev) then
-    send t ~dst:src (Wire.Fed_plan_err { req; error = "target outside domain " ^ t.domain })
+  if not (owns t target.Ids.dev) then begin
+    finish "failed: target outside domain";
+    send t ~dst:src
+      (traced ctx (Wire.Fed_plan_err { req; error = "target outside domain " ^ t.domain }))
+  end
   else
     match segment_walk t ~entry_dev ~target_dev:target.Ids.dev with
-    | None -> send t ~dst:src (Wire.Fed_plan_err { req; error = "no segment from border " ^ entry_dev })
+    | None ->
+        finish "failed: no segment";
+        send t ~dst:src
+          (traced ctx (Wire.Fed_plan_err { req; error = "no segment from border " ^ entry_dev }))
     | Some walk ->
         let devices =
           List.filter_map
@@ -205,9 +277,11 @@ let answer_plan t ~src ~req ~entry_dev ~(target : Ids.t) =
         let module_domains =
           List.filter (fun ((m : Ids.t), _) -> List.mem m.Ids.dev walk) topo.Topology.module_domains
         in
+        finish "ok";
         send t ~dst:src
-          (Wire.Fed_plan_resp
-             { req; devices; module_domains; prefixes = topo.Topology.domain_prefixes })
+          (traced ctx
+             (Wire.Fed_plan_resp
+                { req; devices; module_domains; prefixes = topo.Topology.domain_prefixes }))
 
 (* --- participant: delegated execution ------------------------------------------ *)
 
@@ -218,7 +292,8 @@ let on_commit t ~src ~key ~slices ~reporter =
   match find_delegated t key with
   | Some d ->
       if d.d_aborted || d.d_abort_requested then () (* tombstone: never resurrect *)
-      else if d.d_acked then send t ~dst:src (Wire.Fed_commit_ack { gid = snd key })
+      else if d.d_acked then
+        send t ~dst:src (traced d.d_trace (Wire.Fed_commit_ack { gid = snd key }))
       else () (* still executing; the tick acks once every slice is confirmed *)
   | None ->
       if List.exists (fun (dev, _) -> not (owns t dev)) slices then begin
@@ -235,6 +310,7 @@ let on_commit t ~src ~key ~slices ~reporter =
             d_abort_requested = false;
             d_aborted = true;
             d_abort_ack_owed = false;
+            d_trace = None;
           }
           :: t.delegated
       end
@@ -247,7 +323,13 @@ let on_commit t ~src ~key ~slices ~reporter =
             path = { Path_finder.visits = [] };
           }
         in
-        Nm.run_script t.nm script;
+        let d_trace =
+          match (obs t, Nm.rx_ctx t.nm) with
+          | Some o, Some parent ->
+              Some (Obs.Trace.start ~parent o ("delegated:" ^ t.domain))
+          | _ -> None
+        in
+        with_nm_ctx t d_trace (fun () -> Nm.run_script t.nm script);
         t.delegated <-
           {
             d_key = key;
@@ -257,6 +339,7 @@ let on_commit t ~src ~key ~slices ~reporter =
             d_abort_requested = false;
             d_aborted = false;
             d_abort_ack_owed = false;
+            d_trace;
           }
           :: t.delegated
       end
@@ -279,6 +362,7 @@ let on_abort t ~src ~key =
           d_abort_requested = true;
           d_aborted = true;
           d_abort_ack_owed = true;
+          d_trace = None;
         }
         :: t.delegated
 
@@ -307,6 +391,9 @@ let reset (_ : t) g =
 let start_abort t g =
   match g.gr_phase with
   | Committing { gid; local; remote; _ } ->
+      observe_phase t "fed.commit_ticks" g.gr_age;
+      close_phase t g ~status:"failed: backing out";
+      open_phase t g "abort";
       g.gr_backouts <- g.gr_backouts + 1;
       g.gr_age <- 0;
       g.gr_phase <-
@@ -344,6 +431,7 @@ let on_plan_resp t g ~devices ~module_domains ~prefixes:_ =
   match Path_finder.choose scratch paths with
   | None ->
       t.stats.plan_errs <- t.stats.plan_errs + 1;
+      close_phase t g ~status:"failed: no path";
       reset t g
   | Some path -> (
       let global = Script_gen.generate scratch goal path in
@@ -354,8 +442,13 @@ let on_plan_resp t g ~devices ~module_domains ~prefixes:_ =
         List.filter (fun (dev, _) -> owner_peer t dev = None) foreign
       in
       match unowned with
-      | (dev, _) :: _ -> g.gr_phase <- Failed ("device in no advertised domain: " ^ dev)
+      | (dev, _) :: _ ->
+          close_goal t g ~status:"failed: unowned device";
+          g.gr_phase <- Failed ("device in no advertised domain: " ^ dev)
       | [] ->
+          observe_phase t "fed.plan_ticks" g.gr_age;
+          close_phase t g ~status:"ok";
+          open_phase t g "commit";
           let remote =
             List.fold_left
               (fun acc (dev, prims) ->
@@ -386,11 +479,13 @@ let on_plan_resp t g ~devices ~module_domains ~prefixes:_ =
               match List.find_opt (fun p -> p.p_domain = dom) t.peers with
               | Some p ->
                   send t ~dst:p.p_station
-                    (Wire.Fed_commit
-                       { domain = t.domain; gid; slices; reporter = global.Script_gen.reporter })
+                    (traced g.gr_phase_ctx
+                       (Wire.Fed_commit
+                          { domain = t.domain; gid; slices; reporter = global.Script_gen.reporter }))
               | None -> ())
             remote;
-          Option.iter (Nm.run_script t.nm) local;
+          with_nm_ctx t g.gr_phase_ctx (fun () ->
+              Option.iter (Nm.run_script t.nm) local);
           g.gr_age <- 0;
           g.gr_phase <- Committing { gid; global; local; remote; acked = [] })
 
@@ -444,7 +539,11 @@ let handle t ~src msg =
       | None -> () (* stale response for an attempt we already restarted *))
   | Wire.Fed_plan_err { req; error = _ } -> (
       t.stats.plan_errs <- t.stats.plan_errs + 1;
-      match find_goal_planning t req with Some g -> reset t g | None -> ())
+      match find_goal_planning t req with
+      | Some g ->
+          close_phase t g ~status:"failed: plan error";
+          reset t g
+      | None -> ())
   | Wire.Fed_commit { domain; gid; slices; reporter } ->
       on_commit t ~src ~key:(domain, gid) ~slices ~reporter
   | Wire.Fed_commit_ack { gid } -> (
@@ -474,7 +573,16 @@ let handle t ~src msg =
 let submit t goal =
   t.next_goal <- t.next_goal + 1;
   let g =
-    { gr_id = t.next_goal; gr_goal = goal; gr_phase = Idle; gr_age = 0; gr_replans = 0; gr_backouts = 0 }
+    {
+      gr_id = t.next_goal;
+      gr_goal = goal;
+      gr_phase = Idle;
+      gr_age = 0;
+      gr_replans = 0;
+      gr_backouts = 0;
+      gr_trace = None;
+      gr_phase_ctx = None;
+    }
   in
   t.goals <- t.goals @ [ g ];
   g.gr_id
@@ -489,10 +597,12 @@ let find_goal t id = List.find_opt (fun g -> g.gr_id = id) t.goals
 let step_idle t g =
   let target_dev = g.gr_goal.Path_finder.g_to.Ids.dev in
   if owns t target_dev then
-    match Nm.achieve t.nm g.gr_goal with
+    let ctx = goal_ctx t g in
+    match with_nm_ctx t ctx (fun () -> Nm.achieve t.nm g.gr_goal) with
     | Ok (_, _, script) ->
         t.next_gid <- t.next_gid + 1;
-        g.gr_phase <- Achieved { gid = t.next_gid; global = script }
+        g.gr_phase <- Achieved { gid = t.next_gid; global = script };
+        close_goal t g ~status:"ok"
     | Error _ -> () (* retry on a later tick *)
   else
     match owner_peer t target_dev with
@@ -515,15 +625,22 @@ let step_idle t g =
         | Some entry_dev ->
             t.plan_reqs <- t.plan_reqs + 1;
             let req = t.plan_reqs in
+            open_phase t g "plan";
             send t ~dst:p.p_station
-              (Wire.Fed_plan_req { req; domain = t.domain; entry_dev; target = g.gr_goal.Path_finder.g_to });
+              (traced g.gr_phase_ctx
+                 (Wire.Fed_plan_req
+                    { req; domain = t.domain; entry_dev; target = g.gr_goal.Path_finder.g_to }));
             g.gr_age <- 0;
             g.gr_phase <- Planning { req })
 
 let step_goal t g =
   match g.gr_phase with
   | Idle -> step_idle t g
-  | Planning _ -> if g.gr_age >= plan_timeout then step_idle t g (* fresh request *)
+  | Planning _ ->
+      if g.gr_age >= plan_timeout then begin
+        close_phase t g ~status:"failed: timeout";
+        step_idle t g (* fresh request *)
+      end
   | Committing c ->
       if g.gr_age >= commit_timeout then start_abort t g
       else begin
@@ -535,25 +652,29 @@ let step_goal t g =
                 match List.find_opt (fun p -> p.p_domain = dom) t.peers with
                 | Some p ->
                     send t ~dst:p.p_station
-                      (Wire.Fed_commit
-                         {
-                           domain = t.domain;
-                           gid = c.gid;
-                           slices;
-                           reporter = c.global.Script_gen.reporter;
-                         })
+                      (traced g.gr_phase_ctx
+                         (Wire.Fed_commit
+                            {
+                              domain = t.domain;
+                              gid = c.gid;
+                              slices;
+                              reporter = c.global.Script_gen.reporter;
+                            }))
                 | None -> ())
             c.remote;
         let local_done =
           match c.local with None -> true | Some s -> not (Nm.script_pending t.nm s)
         in
-        if local_done && List.for_all (fun (dom, _) -> List.mem dom c.acked) c.remote then
-          g.gr_phase <- Achieved { gid = c.gid; global = c.global }
+        if local_done && List.for_all (fun (dom, _) -> List.mem dom c.acked) c.remote then begin
+          observe_phase t "fed.commit_ticks" g.gr_age;
+          g.gr_phase <- Achieved { gid = c.gid; global = c.global };
+          close_goal t g ~status:"ok"
+        end
       end
   | Aborting a ->
       (match a.to_back_out with
       | Some s ->
-          Nm.abort_script t.nm s;
+          with_nm_ctx t g.gr_phase_ctx (fun () -> Nm.abort_script t.nm s);
           a.to_back_out <- None
       | None -> ());
       if g.gr_age mod resend_every = 0 then
@@ -561,27 +682,42 @@ let step_goal t g =
           (fun dom ->
             if not (List.mem dom a.acked) then
               match List.find_opt (fun p -> p.p_domain = dom) t.peers with
-              | Some p -> send t ~dst:p.p_station (Wire.Fed_abort { domain = t.domain; gid = a.gid })
+              | Some p ->
+                  send t ~dst:p.p_station
+                    (traced g.gr_phase_ctx (Wire.Fed_abort { domain = t.domain; gid = a.gid }))
               | None -> ())
           a.remote_domains;
-      if List.for_all (fun dom -> List.mem dom a.acked) a.remote_domains then reset t g
+      if List.for_all (fun dom -> List.mem dom a.acked) a.remote_domains then begin
+        observe_phase t "fed.abort_ticks" g.gr_age;
+        close_phase t g ~status:"ok";
+        (* the root span stays open: the goal replans under the same trace *)
+        reset t g
+      end
   | Achieved _ | Failed _ -> ()
 
 let step_delegated t d =
   if d.d_abort_requested && not d.d_aborted then begin
-    (match d.d_script with Some s -> Nm.abort_script t.nm s | None -> ());
+    (match d.d_script with
+    | Some s -> with_nm_ctx t d.d_trace (fun () -> Nm.abort_script t.nm s)
+    | None -> ());
     d.d_script <- None;
-    d.d_aborted <- true
+    d.d_aborted <- true;
+    match (obs t, d.d_trace) with
+    | Some o, Some ctx -> Obs.Trace.finish o ctx ~status:"aborted"
+    | _ -> ()
   end;
   if d.d_abort_ack_owed then begin
     d.d_abort_ack_owed <- false;
-    send t ~dst:d.d_from (Wire.Fed_abort_ack { gid = snd d.d_key })
+    send t ~dst:d.d_from (traced d.d_trace (Wire.Fed_abort_ack { gid = snd d.d_key }))
   end;
   if (not d.d_aborted) && not d.d_acked then
     match d.d_script with
     | Some s when not (Nm.script_pending t.nm s) ->
         d.d_acked <- true;
-        send t ~dst:d.d_from (Wire.Fed_commit_ack { gid = snd d.d_key })
+        (match (obs t, d.d_trace) with
+        | Some o, Some ctx -> Obs.Trace.finish o ctx ~status:"ok"
+        | _ -> ());
+        send t ~dst:d.d_from (traced d.d_trace (Wire.Fed_commit_ack { gid = snd d.d_key }))
     | _ -> ()
 
 let tick t ~tick =
@@ -632,6 +768,21 @@ let delegated_aborted t = List.length (List.filter (fun d -> d.d_aborted) t.dele
 let nm t = t.nm
 let domain t = t.domain
 let devices t = t.devices
+let set_registry t r = t.registry <- Some r
+
+let goal_trace t id =
+  match find_goal t id with Some g -> g.gr_trace | None -> None
+
+let obs_counters t =
+  [
+    ("commits_in", t.stats.commits_in);
+    ("aborts_in", t.stats.aborts_in);
+    ("relays", t.stats.relays);
+    ("plan_errs", t.stats.plan_errs);
+    ("replans", replans t);
+    ("backouts", backouts t);
+    ("delegated_aborted", delegated_aborted t);
+  ]
 let peers_known t = List.filter_map (fun p -> if p.p_seen then Some (p.p_domain, p.p_devices) else None) t.peers
 
 (* --- construction ---------------------------------------------------------------- *)
@@ -653,6 +804,7 @@ let create ~nm ~domain ~devices ~peers () =
       delegated = [];
       plan_reqs = 0;
       stats = { commits_in = 0; aborts_in = 0; relays = 0; plan_errs = 0 };
+      registry = None;
     }
   in
   Nm.set_owned_devices nm devices;

@@ -93,3 +93,23 @@ val devices : t -> string list
 
 val peers_known : t -> (string * string list) list
 (** Advertised peer domains and their device sets. *)
+
+(** {1 Tracing and metrics}
+
+    When the underlying NM carries a span collector ({!Nm.set_obs}), every
+    goal run gets a root ["fed-goal"] span with one child span per protocol
+    phase (["plan"], ["commit"], ["abort"]); inter-NM frames carry the
+    current phase's context ({!Wire.Traced}) so the participant's
+    ["plan-expand"] and ["delegated:<domain>"] spans — and every
+    configuration bundle either side ships — parent into the same tree. *)
+
+val set_registry : t -> Obs.Registry.t -> unit
+(** Feeds per-phase tick latencies into [fed.plan_ticks],
+    [fed.commit_ticks] and [fed.abort_ticks] histograms. *)
+
+val goal_trace : t -> int -> Obs.Trace.ctx option
+(** The root trace context of a submitted goal, once its first phase has
+    begun (usable with [Obs.Trace.goal_spans] / [render]). *)
+
+val obs_counters : t -> (string * int) list
+(** Protocol stats in registry-source form for [Obs.Registry.register]. *)

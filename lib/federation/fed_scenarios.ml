@@ -143,13 +143,37 @@ let build_two_domain ?(tradeoffs = [ "in-order-delivery"; "low-error-rate" ]) ?f
 
 let two_domain_reachable t = Netsim.Testbeds.chain_reachable t.ftb
 
+(* Full observability over the deployment: one span collector per NM
+   station (west agents report into west's, east into east's), the shared
+   channel stack's retry/shed events routed back to goal spans, every
+   layer's counters in one registry, and both Fed nodes feeding the
+   per-phase latency histograms. *)
+let instrument t =
+  let obs = Observe.create () in
+  let w_agents = List.filter (fun (id, _) -> List.mem id t.fwest_devices) t.fagents in
+  let e_agents = List.filter (fun (id, _) -> List.mem id t.feast_devices) t.fagents in
+  ignore
+    (Observe.attach_nm obs ~prefix:"west" ~agents:w_agents ~transport:t.ftransport
+       ~admission:t.fadmission ~faults:t.ffaults ~station:west_station (Fed.nm t.fwest));
+  (* the channel stack is shared, so its observers/counters attach once *)
+  ignore (Observe.attach_nm obs ~prefix:"east" ~agents:e_agents ~station:east_station (Fed.nm t.feast));
+  let reg = Observe.registry obs in
+  Fed.set_registry t.fwest reg;
+  Fed.set_registry t.feast reg;
+  Obs.Registry.register reg "fed_west" (fun () -> Fed.obs_counters t.fwest);
+  Obs.Registry.register reg "fed_east" (fun () -> Fed.obs_counters t.feast);
+  Observe.attach_net obs (Nm.net (Fed.nm t.fwest));
+  Observe.attach_rings obs;
+  obs
+
 (* Drives both federation nodes a bounded interval per tick until the goal
    is achieved — the fault-free drive; the chaos engine has its own with
    fault injection interleaved. *)
-let converge ?(interval_ns = 500_000_000L) ?(max_ticks = 40) t gid =
+let converge ?obs ?(interval_ns = 500_000_000L) ?(max_ticks = 40) t gid =
   let net = Nm.net (Fed.nm t.fwest) in
   let eq = Netsim.Net.eq net in
   let rec go tick =
+    (match obs with Some o -> Observe.set_tick o tick | None -> ());
     if Fed.achieved t.fwest gid || Fed.achieved t.feast gid then true
     else if tick >= max_ticks then false
     else begin

@@ -43,7 +43,17 @@ val build_two_domain :
 val two_domain_reachable : two_domain -> bool
 (** Bidirectional reachability between the chain's customer edges. *)
 
-val converge : ?interval_ns:int64 -> ?max_ticks:int -> two_domain -> int -> bool
+val instrument : two_domain -> Observe.t
+(** Wires full observability over the deployment: a span collector per NM
+    station (agents report into their domain's collector), the shared
+    channel stack's retry/shed events routed back to goal spans, every
+    layer's counters registered ([west_nm.*], [east_nm.*], [west_reliable.*],
+    [fed_west.*], [netsim.*], [rings.*], ...) and both Fed nodes feeding
+    the [fed.plan_ticks]/[fed.commit_ticks]/[fed.abort_ticks] histograms. *)
+
+val converge :
+  ?obs:Observe.t -> ?interval_ns:int64 -> ?max_ticks:int -> two_domain -> int -> bool
 (** [converge t gid] drives both federation nodes (one {!Fed.tick} each,
     then a bounded network interval) until goal [gid] is achieved or
-    [max_ticks] is exhausted — the fault-free drive. *)
+    [max_ticks] is exhausted — the fault-free drive. [?obs] keeps the
+    observability clock in step with the drive's ticks. *)

@@ -81,16 +81,25 @@ type t = {
   q3 : entry Queue.t;
   classes : class_counters array;  (* indexed by priority *)
   mutable drainer_armed : bool;
+  mutable observer : (bytes -> string -> unit) option;
+      (* (payload, event) tap — deferred / shed / expired — so the layer
+         above can attribute the fate to the goal the frame works for *)
 }
 
 let counters t = t.classes
+
+let observe t payload event =
+  match t.observer with None -> () | Some f -> ( try f payload event with _ -> ())
 
 let reset_counters t =
   Array.iteri (fun i _ -> t.classes.(i) <- fresh_class ()) t.classes
 
 (* Total frames lost to shedding or expiry across the sheddable classes —
-   the load signal Telemetry watches to back its scrape period off. *)
-let shed_total t =
+   the load signal Telemetry watches to back its scrape period off.
+   Deliberately not called "shed": queue-cap sheds and deadline expiries
+   are distinct fates (reported separately by [obs_counters]); this is
+   their union. *)
+let lost_total t =
   t.classes.(2).shed + t.classes.(2).expired + t.classes.(3).shed + t.classes.(3).expired
 
 let queue_depth t = Queue.length t.q2 + Queue.length t.q3
@@ -140,6 +149,7 @@ let expire_stale t =
     | Some e when Int64.sub now e.e_enq_ns > t.config.p3_deadline_ns ->
         ignore (Queue.pop t.q3);
         t.classes.(3).expired <- t.classes.(3).expired + 1;
+        observe t e.e_bytes "expired";
         loop ()
     | _ -> ()
   in
@@ -175,24 +185,29 @@ let enqueue t p ~src ~dst payload =
     (* the backlog is full: make room by shedding the strictly
        lowest-priority frame, oldest first *)
     if not (Queue.is_empty t.q3) then begin
-      ignore (Queue.pop t.q3);
-      t.classes.(3).shed <- t.classes.(3).shed + 1
+      let v = Queue.pop t.q3 in
+      t.classes.(3).shed <- t.classes.(3).shed + 1;
+      observe t v.e_bytes "shed"
     end
     else if p = P2 && not (Queue.is_empty t.q2) then begin
-      ignore (Queue.pop t.q2);
-      t.classes.(2).shed <- t.classes.(2).shed + 1
+      let v = Queue.pop t.q2 in
+      t.classes.(2).shed <- t.classes.(2).shed + 1;
+      observe t v.e_bytes "shed"
     end
   end;
   if queue_depth t < t.config.queue_capacity then begin
     Queue.push { e_src = src; e_dst = dst; e_bytes = payload; e_enq_ns = Event_queue.now t.eq } q;
     c.deferred <- c.deferred + 1;
+    observe t payload "deferred";
     let depth = Queue.length q in
     if depth > c.queue_high_water then c.queue_high_water <- depth
   end
-  else
+  else begin
     (* an incoming P3 with nothing lower-priority to displace: the
        newcomer itself is the shed victim *)
     c.shed <- c.shed + 1;
+    observe t payload "shed"
+  end;
   ensure_drainer t
 
 let send t ~src ~dst payload =
@@ -217,6 +232,24 @@ let send t ~src ~dst payload =
       end
       else enqueue t P3 ~src ~dst payload
 
+let set_observer t f = t.observer <- Some f
+
+(* Registry-source form: every class counter under its own unambiguous
+   key — [p3_shed] (queue-cap drops) never mixes with [p3_expired]
+   (deadline drops); [lost_total] is their explicit union. *)
+let obs_counters t =
+  let per i =
+    let c = t.classes.(i) in
+    [
+      (Printf.sprintf "p%d_admitted" i, c.admitted);
+      (Printf.sprintf "p%d_deferred" i, c.deferred);
+      (Printf.sprintf "p%d_shed" i, c.shed);
+      (Printf.sprintf "p%d_expired" i, c.expired);
+      (Printf.sprintf "p%d_queue_high_water" i, c.queue_high_water);
+    ]
+  in
+  List.concat_map per [ 0; 1; 2; 3 ] @ [ ("lost_total", lost_total t) ]
+
 let wrap ?(config = default_config) ~eq ~classify inner =
   let t =
     {
@@ -229,6 +262,7 @@ let wrap ?(config = default_config) ~eq ~classify inner =
       q3 = Queue.create ();
       classes = Array.init 4 (fun _ -> fresh_class ());
       drainer_armed = false;
+      observer = None;
     }
   in
   let chan =

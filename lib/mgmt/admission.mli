@@ -65,9 +65,22 @@ val counters : t -> class_counters array
 
 val reset_counters : t -> unit
 
-val shed_total : t -> int
-(** Frames lost to shedding or expiry across P2+P3 — the load-feedback
-    signal telemetry pollers watch to back off their scrape period. *)
+val lost_total : t -> int
+(** Frames lost to queue-cap shedding {e or} deadline expiry across P2+P3
+    — the load-feedback signal telemetry pollers watch to back off their
+    scrape period. The two fates stay separately counted ([shed] vs
+    [expired] in {!class_counters}, [pN_shed] vs [pN_expired] in
+    {!obs_counters}); this is their explicit union, not another "shed". *)
+
+val set_observer : t -> (bytes -> string -> unit) -> unit
+(** Taps per-frame fate for tracing: the observer receives the payload and
+    one of ["deferred"], ["shed"] or ["expired"]. Observer exceptions are
+    swallowed; the layer stays payload-agnostic. *)
+
+val obs_counters : t -> (string * int) list
+(** Every class counter in registry-source form under unambiguous keys
+    ([p2_admitted], [p3_shed], [p3_expired], ...) plus [lost_total], for
+    [Obs.Registry.register]. *)
 
 val queue_depth : t -> int
 (** Frames currently waiting for tokens. *)

@@ -77,6 +77,17 @@ let partition t id = Hashtbl.replace t.partitioned id ()
 let heal t id = Hashtbl.remove t.partitioned id
 let counters t = t.counters
 
+(* Registry-source form of the counters (see Obs.Registry in lib/obs). *)
+let obs_counters t =
+  let c = t.counters in
+  [
+    ("dropped", c.dropped);
+    ("duplicated", c.duplicated);
+    ("delayed", c.delayed);
+    ("crash_drops", c.crash_drops);
+    ("partition_drops", c.partition_drops);
+  ]
+
 let reset_counters t =
   let c = t.counters in
   c.dropped <- 0;

@@ -79,6 +79,10 @@ val clear : t -> unit
 
 val counters : t -> counters
 
+val obs_counters : t -> (string * int) list
+(** The counters in registry-source form (e.g. [("crash_drops", n)]) for
+    [Obs.Registry.register]. *)
+
 val reset_counters : t -> unit
 (** Zeroes every counter. [clear] deliberately preserves counters so a
     post-mortem can still read them; chaos episodes call this between

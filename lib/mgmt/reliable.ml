@@ -89,7 +89,15 @@ type t = {
   classify : (bytes -> int) option;
       (* admission class of a payload (see Admission); lets the pending cap
          pick telemetry (class 3) as its shed victims *)
+  mutable observer : (bytes -> string -> unit) option;
+      (* (payload, event) tap on per-frame fate — retried / gave-up /
+         dedup / transport-shed. The layer above decodes the payload and
+         attributes the event to the goal it works for; this layer stays
+         payload-agnostic. *)
 }
+
+let observe t payload event =
+  match t.observer with None -> () | Some f -> ( try f payload event with _ -> ())
 
 (* --- envelope codec ---------------------------------------------------- *)
 
@@ -175,12 +183,18 @@ let rec arm_timer t key delay =
           if p.p_retries >= t.config.max_retries then begin
             Hashtbl.remove t.pending key;
             t.counters.gave_up <- t.counters.gave_up + 1;
+            (match decode p.p_bytes with
+            | Some (_, _, pl) when Bytes.length pl > 0 -> observe t pl "gave-up"
+            | _ -> ());
             let src, dst, _ = key in
             List.iter (fun f -> f ~src ~dst) t.give_up_listeners
           end
           else begin
             p.p_retries <- p.p_retries + 1;
             t.counters.retransmits <- t.counters.retransmits + 1;
+            (match decode p.p_bytes with
+            | Some (_, _, pl) when Bytes.length pl > 0 -> observe t pl "retried"
+            | _ -> ());
             let src, _, _ = key in
             Channel.send t.inner ~src ~dst:p.p_dst p.p_bytes;
             arm_timer t key (retry_delay t p.p_retries)
@@ -219,6 +233,12 @@ let enforce_pending_cap t ~src ~dst =
         in
         (match victim with
         | Some seq ->
+            (match Hashtbl.find_opt t.pending (src, dst, seq) with
+            | Some p -> (
+                match decode p.p_bytes with
+                | Some (_, _, pl) when Bytes.length pl > 0 -> observe t pl "transport-shed"
+                | _ -> ())
+            | None -> ());
             Hashtbl.remove t.pending (src, dst, seq);
             t.counters.pending_shed <- t.counters.pending_shed + 1
         | None -> ())
@@ -262,8 +282,10 @@ let subscribe t id (h : Channel.handler) =
             Hashtbl.remove w.skipped seq;
             deliver h ~src payload
           end
-          else if seq < w.next || Hashtbl.mem w.held seq then
-            t.counters.duplicates <- t.counters.duplicates + 1
+          else if seq < w.next || Hashtbl.mem w.held seq then begin
+            t.counters.duplicates <- t.counters.duplicates + 1;
+            if Bytes.length payload > 0 then observe t payload "dedup"
+          end
           else begin
             if seq <> w.next then t.counters.held_back <- t.counters.held_back + 1;
             Hashtbl.replace w.held seq payload;
@@ -299,6 +321,7 @@ let create ?(config = default_config) ?classify ~eq inner =
       order = Hashtbl.create 32;
       give_up_listeners = [];
       classify;
+      observer = None;
     }
   in
   let chan =
@@ -334,5 +357,24 @@ let cancel t ~src ~dst payload =
   List.length victims
 
 let on_give_up t f = t.give_up_listeners <- f :: t.give_up_listeners
+let set_observer t f = t.observer <- Some f
 let counters t = t.counters
 let in_flight t = Hashtbl.length t.pending
+
+(* Registry-source form of the counters, named per the subsystem.name
+   convention (see Obs.Registry in lib/obs). *)
+let obs_counters t =
+  let c = t.counters in
+  [
+    ("data_sent", c.data_sent);
+    ("retransmits", c.retransmits);
+    ("acks_sent", c.acks_sent);
+    ("acks_received", c.acks_received);
+    ("duplicates", c.duplicates);
+    ("gave_up", c.gave_up);
+    ("broadcasts", c.broadcasts);
+    ("held_back", c.held_back);
+    ("gap_skips", c.gap_skips);
+    ("pending_high_water", c.pending_high_water);
+    ("pending_shed", c.pending_shed);
+  ]

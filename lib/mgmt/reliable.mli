@@ -83,7 +83,19 @@ val on_give_up : t -> (src:string -> dst:string -> unit) -> unit
 (** Registers a listener invoked whenever a unicast from [src] to [dst] is
     abandoned after exhausting its retries. *)
 
+val set_observer : t -> (bytes -> string -> unit) -> unit
+(** Taps per-frame fate for tracing: the observer receives the payload and
+    one of ["retried"], ["gave-up"], ["dedup"] (suppressed duplicate at a
+    receiver) or ["transport-shed"] (abandoned at the per-destination
+    cap). The layer stays payload-agnostic — the caller decodes the
+    payload to attribute the event (see [Obs] wiring in lib/core).
+    Observer exceptions are swallowed. *)
+
 val counters : t -> counters
 
 val in_flight : t -> int
 (** Number of unacked unicasts currently being retried. *)
+
+val obs_counters : t -> (string * int) list
+(** The counters in registry-source form (e.g. [("retransmits", n)]) for
+    [Obs.Registry.register]. *)

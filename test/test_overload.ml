@@ -134,7 +134,7 @@ let test_p3_deadline_expiry () =
   check tint "queue empty" 0 (Mgmt.Admission.queue_depth adm);
   let c = Mgmt.Admission.counters adm in
   check tint "expiry counted" 3 c.(3).Mgmt.Admission.expired;
-  check tbool "shed_total sees expiry" true (Mgmt.Admission.shed_total adm >= 3)
+  check tbool "lost_total sees expiry" true (Mgmt.Admission.lost_total adm >= 3)
 
 let test_per_peer_buckets () =
   let _eq, chan, _adm, sent = wrap_tight ~bucket:3 ~refill:0 () in
@@ -201,6 +201,23 @@ let wire_corpus =
     Wire.Self_test_req { req = 8; target = Ids.v "IP" "g" "id-A"; against = None };
     Wire.Completion { src = Ids.v "MPLS" "q" "id-C"; what = "lsp-established" };
     Wire.Trigger { src = Ids.v "IP" "g" "id-A"; field = "up"; value = "false" };
+    (* trace contexts piggyback on any frame, nested either way around the
+       epoch fence — both orderings must survive the mutational fuzz *)
+    Wire.Traced
+      {
+        ctx = { Obs.Trace.goal = 1; span = 5; parent = 4 };
+        msg = Wire.Bundle_ack { req = 7 };
+      };
+    Wire.Fenced
+      {
+        epoch = 3;
+        msg =
+          Wire.Traced
+            {
+              ctx = { Obs.Trace.goal = 2; span = 9; parent = 0 };
+              msg = Wire.Ack { req = 11 };
+            };
+      };
   ]
 
 (* Seeded mutations: truncate, bit-flip, or splice two encodings. *)
@@ -302,6 +319,90 @@ let test_fuzz_peer_msg_decode () =
       if not (Peer_msg.equal m m') then
         Alcotest.failf "Peer_msg round-trip changed %a" Peer_msg.pp m)
     peer_msg_corpus
+
+(* The trace-context and span codecs see hostile bytes too: the ctx rides
+   inside every Traced frame, and spans are serialized whole into chaos
+   violation reports. Same contract as Wire.decode — only Parse_error. *)
+let ctx_corpus =
+  [
+    { Obs.Trace.goal = 1; span = 1; parent = 0 };
+    { Obs.Trace.goal = 3; span = 12; parent = 7 };
+    { Obs.Trace.goal = max_int; span = max_int - 1; parent = max_int - 2 };
+  ]
+
+let span_corpus =
+  [
+    {
+      Obs.Trace.s_goal = 1;
+      s_id = 1;
+      s_parent = 0;
+      s_name = "fed-goal";
+      s_station = "id-NM-W";
+      s_start = 0;
+      s_end = 2;
+      s_status = "ok";
+      s_events = [ (0, "t0 sent"); (1, "retry 1") ];
+    };
+    {
+      Obs.Trace.s_goal = 1;
+      s_id = 5;
+      s_parent = 4;
+      s_name = "exec:id-R1";
+      s_station = "id-NM-E";
+      s_start = 3;
+      s_end = -1;
+      s_status = "";
+      s_events = [];
+    };
+    {
+      Obs.Trace.s_goal = 7;
+      s_id = 9;
+      s_parent = 7;
+      s_name = "bundle:id-C (retry)";
+      s_station = "id-NM";
+      s_start = 2;
+      s_end = 2;
+      s_status = "failed: device unreachable: id-C";
+      s_events = [ (2, "shed p3") ];
+    };
+  ]
+
+let test_fuzz_obs_codec () =
+  let prng = Mgmt.Faults.Prng.create 2718 in
+  let pool =
+    List.map (fun s -> Bytes.of_string (Obs_codec.span_to_string s)) span_corpus
+    @ List.map (fun c -> Bytes.of_string (Sexp.to_string (Obs_codec.ctx_to_sexp c))) ctx_corpus
+  in
+  for _ = 1 to 2000 do
+    let m = Bytes.to_string (mutate prng pool) in
+    (match Obs_codec.span_of_string m with
+    | _ -> ()
+    | exception Sexp.Parse_error _ -> ()
+    | exception e ->
+        Alcotest.failf "span_of_string raised %s on %S" (Printexc.to_string e) m);
+    match Obs_codec.ctx_of_sexp (Sexp.of_string m) with
+    | _ -> ()
+    | exception Sexp.Parse_error _ -> ()
+    | exception e -> Alcotest.failf "ctx_of_sexp raised %s on %S" (Printexc.to_string e) m
+  done;
+  (* round-trip sanity: contexts, spans, and a Traced frame through the
+     full Wire codec *)
+  List.iter
+    (fun c ->
+      if Obs_codec.ctx_of_sexp (Obs_codec.ctx_to_sexp c) <> c then
+        Alcotest.fail "ctx round-trip changed the context")
+    ctx_corpus;
+  List.iter
+    (fun s ->
+      if Obs_codec.span_of_string (Obs_codec.span_to_string s) <> s then
+        Alcotest.failf "span round-trip changed %s" s.Obs.Trace.s_name)
+    span_corpus;
+  List.iter
+    (fun c ->
+      let w = Wire.Traced { ctx = c; msg = Wire.Ack { req = 1 } } in
+      if Wire.trace_of (Wire.decode (Wire.encode w)) <> Some c then
+        Alcotest.fail "Traced frame round-trip lost the context")
+    ctx_corpus
 
 let test_agent_drops_malformed () =
   let v = Scenarios.build_vpn () in
@@ -445,6 +546,8 @@ let () =
             test_fuzz_schedule_decode;
           Alcotest.test_case "Peer_msg.of_sexp never raises undeclared" `Quick
             test_fuzz_peer_msg_decode;
+          Alcotest.test_case "trace ctx/span codecs never raise undeclared" `Quick
+            test_fuzz_obs_codec;
           Alcotest.test_case "agents drop malformed frames" `Quick test_agent_drops_malformed;
         ] );
       ( "ha-under-storm",
